@@ -1,0 +1,58 @@
+"""Fig. 5: statistics of the (synthetic) Azure Conversation trace.
+
+Published statistics of the pruned dataset: 16657 requests, mean input 763
+(<= 2048), mean output 232 (<= 1024), right-skewed length marginals, and a
+diurnal arrival-rate curve. The benchmark regenerates the full-size trace
+and prints the length histograms alongside the published means.
+"""
+
+from repro.trace import (
+    AzureTraceConfig,
+    diurnal_arrivals,
+    synthesize_azure_trace,
+    trace_statistics,
+)
+
+
+def full_trace():
+    return synthesize_azure_trace(AzureTraceConfig(num_requests=16657, seed=0))
+
+
+def histogram(values, bins, width):
+    counts = [0] * bins
+    for value in values:
+        counts[min(value // width, bins - 1)] += 1
+    return counts
+
+
+def test_fig5_trace_stats(benchmark, report):
+    trace = benchmark(full_trace)
+    stats = trace_statistics(trace)
+    assert abs(stats["mean_input"] - 763) / 763 < 0.05
+    assert abs(stats["mean_output"] - 232) / 232 < 0.05
+    assert stats["max_input"] <= 2048 and stats["max_output"] <= 1024
+
+    input_hist = histogram([r.input_len for r in trace], bins=8, width=256)
+    output_hist = histogram([r.output_len for r in trace], bins=8, width=128)
+    stamped = diurnal_arrivals(trace[:2000], mean_rate=5.0, seed=3, period=120.0)
+    minute_counts = {}
+    for request in stamped:
+        minute_counts[int(request.arrival_time // 60)] = (
+            minute_counts.get(int(request.arrival_time // 60), 0) + 1
+        )
+    rate_series = [minute_counts[m] for m in sorted(minute_counts)]
+
+    lines = [
+        f"requests: {stats['num_requests']}  "
+        f"mean input {stats['mean_input']:.0f} (paper 763)  "
+        f"mean output {stats['mean_output']:.0f} (paper 232)",
+        "input length histogram (256-token bins):  "
+        + " ".join(str(c) for c in input_hist),
+        "output length histogram (128-token bins): "
+        + " ".join(str(c) for c in output_hist),
+        "arrivals per minute (diurnal shape):      "
+        + " ".join(str(c) for c in rate_series[:12]),
+    ]
+    # Arrival rate must visibly oscillate (diurnal pattern, Fig. 5b).
+    assert max(rate_series) > 1.2 * min(rate_series[:-1] or [1])
+    report("fig5_trace_stats", "\n".join(lines))

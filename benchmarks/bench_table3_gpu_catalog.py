@@ -1,0 +1,22 @@
+"""Table 3: the GPU property catalog (datasheet values used by the model)."""
+
+from repro.bench.tables import format_table, table3_gpu_catalog
+
+
+def test_table3_gpu_catalog(benchmark, report):
+    rows = benchmark(table3_gpu_catalog)
+    by_gpu = {r["gpu"]: r for r in rows}
+    assert by_gpu["H100"]["fp16_tflops"] == 1979
+    assert by_gpu["A100-40G"]["fp16_tflops"] == 312
+    assert by_gpu["L4"]["fp16_tflops"] == 242
+    assert by_gpu["T4"]["fp16_tflops"] == 65
+    assert by_gpu["A100-40G"]["bandwidth_gbs"] == 1555
+    text = format_table(
+        ["gpu", "fp16_tflops", "memory_gb", "bandwidth_gbs", "power_w", "price_usd"],
+        [
+            [r["gpu"], r["fp16_tflops"], r["memory_gb"], r["bandwidth_gbs"],
+             r["power_w"], r["price_usd"]]
+            for r in rows
+        ],
+    )
+    report("table3_gpu_catalog", text)

@@ -1,0 +1,89 @@
+"""repro — reproduction of Helix (Mei et al., ASPLOS 2025).
+
+Helix serves large language models on heterogeneous, geo-distributed GPU
+clusters by casting joint model placement + request scheduling as a
+max-flow problem: an MILP finds the placement whose cluster graph has the
+largest max flow, and an IWRR scheduler routes each request along its own
+pipeline following the flow solution.
+
+Quickstart::
+
+    from repro import (
+        single_cluster_24, LLAMA_70B, HelixMilpPlanner, HelixScheduler,
+        Simulation, synthesize_azure_trace, AzureTraceConfig,
+    )
+
+    cluster = single_cluster_24()
+    planner = HelixMilpPlanner(cluster, LLAMA_70B, time_limit=30)
+    result = planner.plan()
+    scheduler = HelixScheduler(
+        cluster, LLAMA_70B, result.placement, flow=result.flow
+    )
+    trace = synthesize_azure_trace(AzureTraceConfig(num_requests=200, scale=0.25))
+    metrics = Simulation(
+        cluster, LLAMA_70B, result.placement, scheduler, trace
+    ).run()
+    print(metrics.summary())
+"""
+
+from repro.core.errors import (
+    ReproError,
+    ClusterError,
+    PlacementError,
+    SchedulingError,
+    SimulationError,
+    SolverError,
+)
+from repro.core.placement_types import ModelPlacement, StageAssignment
+from repro.models.specs import (
+    ModelSpec,
+    LLAMA_30B,
+    LLAMA_70B,
+    GPT3_175B,
+    GROK_314B,
+    LLAMA3_405B,
+    get_model,
+)
+from repro.cluster import (
+    GPUSpec,
+    ComputeNode,
+    Link,
+    Cluster,
+    Profiler,
+    COORDINATOR,
+    single_cluster_24,
+    geo_distributed_24,
+    high_heterogeneity_42,
+    toy_cluster_fig1,
+    toy_cluster_fig2,
+    small_cluster_fig12,
+)
+from repro.flow import FlowNetwork, FlowGraph, FlowSolution
+from repro.placement import (
+    PlannerResult,
+    HelixMilpPlanner,
+    SwarmPlanner,
+    PetalsPlanner,
+    SeparatePipelinesPlanner,
+    prune_cluster,
+)
+from repro.scheduling import (
+    HelixScheduler,
+    SwarmScheduler,
+    RandomScheduler,
+    ShortestQueueScheduler,
+    FixedPipelineScheduler,
+    InterleavedWeightedRoundRobin,
+)
+from repro.sim import Simulation, Request, ServingMetrics
+from repro.trace import (
+    AzureTraceConfig,
+    synthesize_azure_trace,
+    offline_arrivals,
+    poisson_arrivals,
+    diurnal_arrivals,
+    rate_for_utilization,
+)
+from repro.bench import run_offline, run_online, make_planner, make_scheduler
+
+__version__ = "0.1.0"

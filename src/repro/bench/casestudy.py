@@ -1,0 +1,110 @@
+"""Case-study reports: GPU utilization (Fig. 9b) and congestion (Fig. 10b).
+
+The paper's deep dives visualize *why* a configuration wins: Fig. 9b colors
+each node by compute utilization under a placement; Fig. 10b marks the
+congested links and root-causes them to scheduling decisions upstream.
+These helpers produce the same evidence from a finished simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.simulator import Simulation
+
+
+@dataclass(frozen=True)
+class NodeUtilization:
+    """One node's serving statistics over a simulation."""
+
+    node_id: str
+    gpu_label: str
+    resident_layers: int
+    utilization: float
+    tokens_processed: float
+    kv_peak_fraction: float
+
+
+def utilization_report(simulation: Simulation) -> list[NodeUtilization]:
+    """Per-node busy fractions after a run (the Fig. 9b quantities).
+
+    Sorted by ascending utilization so under-utilized nodes (the paper's
+    grey boxes) lead the list.
+    """
+    duration = max(simulation.now, 1e-9)
+    rows = []
+    for node_id, executor in simulation.executors.items():
+        node = simulation.cluster.node(node_id)
+        pool = simulation.kv_pools[node_id]
+        kv_fraction = (
+            pool.peak_tokens / pool.capacity_tokens
+            if pool.capacity_tokens > 0
+            else 0.0
+        )
+        rows.append(
+            NodeUtilization(
+                node_id=node_id,
+                gpu_label=node.gpu_label,
+                resident_layers=simulation.placement.interval(node_id).num_layers,
+                utilization=executor.utilization(duration),
+                tokens_processed=executor.stats.tokens,
+                kv_peak_fraction=kv_fraction,
+            )
+        )
+    rows.sort(key=lambda r: (r.utilization, r.node_id))
+    return rows
+
+
+@dataclass(frozen=True)
+class CongestedLink:
+    """One link's queueing profile plus its upstream root cause."""
+
+    src: str
+    dst: str
+    mean_queueing_delay: float
+    max_queueing_delay: float
+    messages: int
+    #: The node whose scheduling decisions feed this link — for coordinator
+    #: egress that's the coordinator itself; otherwise the sending node.
+    root_cause: str
+
+
+def congestion_report(
+    simulation: Simulation, min_delay: float = 0.0, top: int = 10
+) -> list[CongestedLink]:
+    """Rank links by mean queueing delay (the Fig. 10b evidence).
+
+    Args:
+        simulation: A finished simulation.
+        min_delay: Drop links whose mean queueing delay is below this.
+        top: Maximum rows returned.
+    """
+    rows = []
+    for (src, dst), channel in simulation.channels.items():
+        if channel.messages_sent == 0:
+            continue
+        if channel.mean_queueing_delay < min_delay:
+            continue
+        rows.append(
+            CongestedLink(
+                src=src,
+                dst=dst,
+                mean_queueing_delay=channel.mean_queueing_delay,
+                max_queueing_delay=channel.max_queueing_delay,
+                messages=channel.messages_sent,
+                root_cause=src,
+            )
+        )
+    rows.sort(key=lambda r: -r.mean_queueing_delay)
+    return rows[:top]
+
+
+def format_utilization(rows: list[NodeUtilization]) -> str:
+    """Plain-text rendering of a utilization report."""
+    lines = ["node           gpu      layers  util   kv_peak"]
+    for row in rows:
+        lines.append(
+            f"{row.node_id:14s} {row.gpu_label:8s} {row.resident_layers:6d} "
+            f"{row.utilization:5.1%} {row.kv_peak_fraction:8.1%}"
+        )
+    return "\n".join(lines)

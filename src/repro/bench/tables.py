@@ -1,0 +1,76 @@
+"""Static-table regeneration (paper Tables 1 and 3) and report formatting."""
+
+from __future__ import annotations
+
+from repro.cluster.gpus import GPU_CATALOG, A100_40G, H100, L4
+from repro.models.memory import min_gpus_required
+from repro.models.specs import (
+    GPT3_175B,
+    GROK_314B,
+    LLAMA3_405B,
+    LLAMA_70B,
+    ModelSpec,
+)
+
+#: The exact values printed in the paper's Table 1.
+TABLE1_PAPER = {
+    ("LLaMA-70B", "L4"): 12,
+    ("LLaMA-70B", "A100-40G"): 7,
+    ("LLaMA-70B", "H100"): 4,
+    ("GPT-3", "L4"): 30,
+    ("GPT-3", "A100-40G"): 18,
+    ("GPT-3", "H100"): 9,
+    ("Grok-1", "L4"): 53,
+    ("Grok-1", "A100-40G"): 32,
+    ("Grok-1", "H100"): 16,
+    ("LLaMA-3-405B", "L4"): 68,
+    ("LLaMA-3-405B", "A100-40G"): 41,
+    ("LLaMA-3-405B", "H100"): 21,
+}
+
+TABLE1_MODELS: tuple[ModelSpec, ...] = (LLAMA_70B, GPT3_175B, GROK_314B, LLAMA3_405B)
+TABLE1_GPUS = (L4, A100_40G, H100)
+
+
+def table1_min_gpus() -> list[dict[str, object]]:
+    """Rows of Table 1: minimum GPU counts per model and GPU type."""
+    rows = []
+    for model in TABLE1_MODELS:
+        row: dict[str, object] = {"model": model.name}
+        for gpu in TABLE1_GPUS:
+            row[gpu.name] = min_gpus_required(model, gpu.vram_bytes)
+        rows.append(row)
+    return rows
+
+
+def table3_gpu_catalog() -> list[dict[str, object]]:
+    """Rows of Table 3: the GPU property catalog."""
+    rows = []
+    for name in ("H100", "A100-40G", "L4", "T4"):
+        gpu = GPU_CATALOG[name]
+        rows.append(
+            {
+                "gpu": gpu.name,
+                "fp16_tflops": gpu.datasheet_fp16_tflops,
+                "memory_gb": gpu.vram_bytes / 1e9,
+                "bandwidth_gbs": gpu.mem_bandwidth / 1e9,
+                "power_w": gpu.power_watts,
+                "price_usd": gpu.price_usd,
+            }
+        )
+    return rows
+
+
+def format_table(headers: list[str], rows: list[list[object]]) -> str:
+    """Fixed-width plain-text table for benchmark output."""
+    cells = [[str(h) for h in headers]] + [
+        [f"{v:.2f}" if isinstance(v, float) else str(v) for v in row]
+        for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)

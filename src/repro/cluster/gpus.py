@@ -1,0 +1,116 @@
+"""GPU specification catalog (paper Table 3, plus V100 used in §6.5).
+
+Two FLOP figures are stored per GPU: ``datasheet_fp16_tflops`` reproduces the
+numbers printed in Table 3 (which, for H100 and L4, are the 2:1-sparsity
+figures NVIDIA advertises), while ``fp16_flops`` is the dense FP16 rate the
+performance model uses. Memory bandwidth matters as much as FLOPs for decode
+throughput, so both enter the profiler's roofline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.units import GB, TFLOPS
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of one GPU model.
+
+    Attributes:
+        name: Catalog key, e.g. ``"A100-40G"``.
+        fp16_flops: Dense FP16 throughput in FLOP/s (used by the profiler).
+        datasheet_fp16_tflops: The Table-3 headline TFLOPs figure.
+        vram_bytes: On-device memory in bytes.
+        mem_bandwidth: HBM/GDDR bandwidth in bytes/s.
+        power_watts: TDP, reported for Table-3 reproduction.
+        price_usd: Representative unit price, reported for Table-3
+            reproduction (midpoint of the ranges the paper quotes).
+    """
+
+    name: str
+    fp16_flops: float
+    datasheet_fp16_tflops: float
+    vram_bytes: float
+    mem_bandwidth: float
+    power_watts: float
+    price_usd: float
+
+    def __post_init__(self) -> None:
+        if self.fp16_flops <= 0 or self.vram_bytes <= 0 or self.mem_bandwidth <= 0:
+            raise ValueError(f"GPU {self.name!r} has non-positive capability")
+
+
+H100 = GPUSpec(
+    name="H100",
+    fp16_flops=990 * TFLOPS,
+    datasheet_fp16_tflops=1979,
+    vram_bytes=80 * GB,
+    mem_bandwidth=3350 * GB,
+    power_watts=700,
+    price_usd=32_500,
+)
+
+A100_40G = GPUSpec(
+    name="A100-40G",
+    fp16_flops=312 * TFLOPS,
+    datasheet_fp16_tflops=312,
+    vram_bytes=40 * GB,
+    mem_bandwidth=1555 * GB,
+    power_watts=400,
+    price_usd=12_500,
+)
+
+A100_80G = GPUSpec(
+    name="A100-80G",
+    fp16_flops=312 * TFLOPS,
+    datasheet_fp16_tflops=312,
+    vram_bytes=80 * GB,
+    mem_bandwidth=2039 * GB,
+    power_watts=400,
+    price_usd=15_000,
+)
+
+L4 = GPUSpec(
+    name="L4",
+    fp16_flops=121 * TFLOPS,
+    datasheet_fp16_tflops=242,
+    vram_bytes=24 * GB,
+    mem_bandwidth=300 * GB,
+    power_watts=72,
+    price_usd=3_000,
+)
+
+T4 = GPUSpec(
+    name="T4",
+    fp16_flops=65 * TFLOPS,
+    datasheet_fp16_tflops=65,
+    vram_bytes=16 * GB,
+    mem_bandwidth=300 * GB,
+    power_watts=70,
+    price_usd=1_000,
+)
+
+V100 = GPUSpec(
+    name="V100",
+    fp16_flops=125 * TFLOPS,
+    datasheet_fp16_tflops=125,
+    vram_bytes=16 * GB,
+    mem_bandwidth=900 * GB,
+    power_watts=300,
+    price_usd=8_000,
+)
+
+GPU_CATALOG: dict[str, GPUSpec] = {
+    gpu.name: gpu for gpu in (H100, A100_40G, A100_80G, L4, T4, V100)
+}
+
+
+def get_gpu(name: str) -> GPUSpec:
+    """Look up a GPU spec by catalog name."""
+    try:
+        return GPU_CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(GPU_CATALOG))
+        raise KeyError(f"unknown GPU {name!r}; known GPUs: {known}") from None

@@ -1,0 +1,64 @@
+"""Compute nodes and the coordinator sentinel.
+
+A compute node aggregates one or more identical GPUs into a single logical
+device, following the paper's abstraction (§4.1: "Compute nodes with multiple
+GPUs can be abstracted as a single logical node, aggregating GPUs' combined
+computational capacity and GPU VRAM resources"). Intra-node parallelism is
+tensor parallelism, so FLOPs, bandwidth, and VRAM all scale with GPU count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.gpus import GPUSpec
+
+COORDINATOR = "coordinator"
+"""Reserved node id for the cluster coordinator (source/sink in the graph)."""
+
+
+@dataclass(frozen=True)
+class ComputeNode:
+    """A logical compute node: ``num_gpus`` identical GPUs in one machine.
+
+    Attributes:
+        node_id: Unique identifier within a cluster. Must not collide with
+            the reserved :data:`COORDINATOR` id.
+        gpu: The GPU model installed in this node.
+        num_gpus: GPUs per node (tensor-parallel within the node).
+        region: Label for geographic grouping; used by presets and by
+            network-aware heuristics/pruning.
+    """
+
+    node_id: str
+    gpu: GPUSpec
+    num_gpus: int = 1
+    region: str = "default"
+
+    def __post_init__(self) -> None:
+        if self.node_id == COORDINATOR:
+            raise ValueError(f"node id {COORDINATOR!r} is reserved")
+        if self.num_gpus < 1:
+            raise ValueError(f"num_gpus must be >= 1, got {self.num_gpus}")
+
+    @property
+    def fp16_flops(self) -> float:
+        """Aggregate dense FP16 FLOP/s across the node's GPUs."""
+        return self.gpu.fp16_flops * self.num_gpus
+
+    @property
+    def vram_bytes(self) -> float:
+        """Aggregate VRAM across the node's GPUs."""
+        return self.gpu.vram_bytes * self.num_gpus
+
+    @property
+    def mem_bandwidth(self) -> float:
+        """Aggregate memory bandwidth across the node's GPUs."""
+        return self.gpu.mem_bandwidth * self.num_gpus
+
+    @property
+    def gpu_label(self) -> str:
+        """Short label such as ``"T4"`` or ``"2xL4"`` for reports."""
+        if self.num_gpus == 1:
+            return self.gpu.name
+        return f"{self.num_gpus}x{self.gpu.name}"

@@ -1,0 +1,168 @@
+"""Preset cluster topologies from the paper's evaluation (§6.2).
+
+Three evaluation clusters plus the toy examples used in the exposition:
+
+* :func:`single_cluster_24` — 4 A100 + 8 L4 + 12 T4, 10 Gb/s full mesh
+  within one region (Fig. 6 experiments).
+* :func:`geo_distributed_24` — the same 24 GPUs split across three regions
+  with 100 Mb/s / 50 ms inter-region links (Fig. 7 experiments).
+* :func:`high_heterogeneity_42` — 42 nodes spanning 7 GPU configurations
+  (Fig. 8 experiments).
+* :func:`toy_cluster_fig1` / :func:`toy_cluster_fig2` — the small examples
+  of Figs. 1 and 2, used for tests and the quickstart.
+* :func:`small_cluster_fig12` — 4 L4 + 6 T4 used for the solver-quality
+  study (Fig. 12).
+"""
+
+from __future__ import annotations
+
+from repro.core.units import GBIT, MBIT
+from repro.cluster.cluster import Cluster
+from repro.cluster.gpus import A100_40G, L4, T4, V100
+from repro.cluster.node import COORDINATOR
+
+INTRA_REGION_BANDWIDTH = 10 * GBIT
+INTRA_REGION_LATENCY = 0.001
+INTER_REGION_BANDWIDTH = 100 * MBIT
+INTER_REGION_LATENCY = 0.050
+
+
+def _add_group(cluster, gpu, count, prefix, region, num_gpus=1):
+    """Add ``count`` identical nodes named ``prefix-0 .. prefix-{count-1}``."""
+    ids = []
+    for i in range(count):
+        node_id = f"{prefix}-{i}"
+        cluster.add_node(node_id, gpu, num_gpus=num_gpus, region=region)
+        ids.append(node_id)
+    return ids
+
+
+def single_cluster_24() -> Cluster:
+    """The paper's single-cluster setup: 4 A100 + 8 L4 + 12 T4 at 10 Gb/s."""
+    cluster = Cluster(name="single-24")
+    ids = []
+    ids += _add_group(cluster, A100_40G, 4, "a100", "region-0")
+    ids += _add_group(cluster, L4, 8, "l4", "region-0")
+    ids += _add_group(cluster, T4, 12, "t4", "region-0")
+    cluster.connect_full_mesh(
+        ids, INTRA_REGION_BANDWIDTH, INTRA_REGION_LATENCY, include_coordinator=True
+    )
+    cluster.validate()
+    return cluster
+
+
+def geo_distributed_24() -> Cluster:
+    """Three regional sub-clusters: (4 A100), (2 L4 + 8 T4), (6 L4 + 4 T4).
+
+    Intra-region links run at 10 Gb/s / 1 ms; inter-region links at
+    100 Mb/s / 50 ms (the paper's simulated cross-region conditions, based on
+    its Table-7 measurements). The coordinator sits in region 0.
+    """
+    cluster = Cluster(name="geo-24")
+    region_ids: list[list[str]] = []
+    region_ids.append(_add_group(cluster, A100_40G, 4, "a100", "region-0"))
+    group1 = _add_group(cluster, L4, 2, "l4a", "region-1")
+    group1 += _add_group(cluster, T4, 8, "t4a", "region-1")
+    region_ids.append(group1)
+    group2 = _add_group(cluster, L4, 6, "l4b", "region-2")
+    group2 += _add_group(cluster, T4, 4, "t4b", "region-2")
+    region_ids.append(group2)
+
+    for ids in region_ids:
+        cluster.connect_full_mesh(
+            ids, INTRA_REGION_BANDWIDTH, INTRA_REGION_LATENCY,
+            include_coordinator=False,
+        )
+    for i, ids_a in enumerate(region_ids):
+        for ids_b in region_ids[i + 1 :]:
+            for a in ids_a:
+                for b in ids_b:
+                    cluster.connect(a, b, INTER_REGION_BANDWIDTH, INTER_REGION_LATENCY)
+    # Coordinator in region 0: fast links locally, slow links cross-region.
+    for a in region_ids[0]:
+        cluster.connect(COORDINATOR, a, INTRA_REGION_BANDWIDTH, INTRA_REGION_LATENCY)
+    for ids in region_ids[1:]:
+        for a in ids:
+            cluster.connect(COORDINATOR, a, INTER_REGION_BANDWIDTH, INTER_REGION_LATENCY)
+    cluster.validate()
+    return cluster
+
+
+def high_heterogeneity_42() -> Cluster:
+    """42 nodes, 7 GPU configurations, single region at 10 Gb/s (§6.5).
+
+    Composition: 4 A100, 6 V100, 8 L4, 10 T4, 4 nodes of 2xL4, 6 nodes of
+    2xT4, and 4 nodes of 4xT4.
+    """
+    cluster = Cluster(name="heterogeneous-42")
+    ids = []
+    ids += _add_group(cluster, A100_40G, 4, "a100", "region-0")
+    ids += _add_group(cluster, V100, 6, "v100", "region-0")
+    ids += _add_group(cluster, L4, 8, "l4", "region-0")
+    ids += _add_group(cluster, T4, 10, "t4", "region-0")
+    ids += _add_group(cluster, L4, 4, "2l4", "region-0", num_gpus=2)
+    ids += _add_group(cluster, T4, 6, "2t4", "region-0", num_gpus=2)
+    ids += _add_group(cluster, T4, 4, "4t4", "region-0", num_gpus=4)
+    cluster.connect_full_mesh(
+        ids, INTRA_REGION_BANDWIDTH, INTRA_REGION_LATENCY, include_coordinator=True
+    )
+    cluster.validate()
+    return cluster
+
+
+def toy_cluster_fig1() -> Cluster:
+    """Fig. 1's example: an A100 region and an (L4 + 3 T4) region.
+
+    Inter-region bandwidth is low; intra-region bandwidth is high.
+    """
+    cluster = Cluster(name="toy-fig1")
+    cluster.add_node("a100-0", A100_40G, region="region-1")
+    region2 = ["l4-0", "t4-0", "t4-1", "t4-2"]
+    cluster.add_node("l4-0", L4, region="region-2")
+    for i in range(3):
+        cluster.add_node(f"t4-{i}", T4, region="region-2")
+    cluster.connect_full_mesh(
+        region2, INTRA_REGION_BANDWIDTH, INTRA_REGION_LATENCY,
+        include_coordinator=False,
+    )
+    for other in region2:
+        cluster.connect("a100-0", other, INTER_REGION_BANDWIDTH, INTER_REGION_LATENCY)
+    cluster.connect(COORDINATOR, "a100-0", INTRA_REGION_BANDWIDTH, INTRA_REGION_LATENCY)
+    for other in region2:
+        cluster.connect(COORDINATOR, other, INTER_REGION_BANDWIDTH, INTER_REGION_LATENCY)
+    cluster.validate()
+    return cluster
+
+
+def toy_cluster_fig2() -> Cluster:
+    """Fig. 2's 3-node example: one A100 and two T4s with Mb/s-scale links.
+
+    Bandwidths follow Fig. 2a: coordinator->A100 80 Mb/s, A100->T4-1
+    40 Mb/s, A100->T4-2 20 Mb/s, T4-1->T4-2 60 Mb/s, T4-1->coordinator
+    50 Mb/s (via its holding of the last layer), T4-2->coordinator 90 Mb/s.
+    """
+    cluster = Cluster(name="toy-fig2")
+    cluster.add_node("a100", A100_40G, region="region-0")
+    cluster.add_node("t4-1", T4, region="region-0")
+    cluster.add_node("t4-2", T4, region="region-0")
+    cluster.connect(COORDINATOR, "a100", 80 * MBIT, 0.001, bidirectional=False)
+    cluster.connect("a100", "t4-1", 40 * MBIT, 0.001, bidirectional=False)
+    cluster.connect("a100", "t4-2", 20 * MBIT, 0.001, bidirectional=False)
+    cluster.connect("t4-1", "t4-2", 60 * MBIT, 0.001, bidirectional=False)
+    cluster.connect("t4-1", COORDINATOR, 50 * MBIT, 0.001, bidirectional=False)
+    cluster.connect("t4-2", COORDINATOR, 90 * MBIT, 0.001, bidirectional=False)
+    cluster.validate()
+    return cluster
+
+
+def small_cluster_fig12() -> Cluster:
+    """Fig. 12's solver-quality cluster: 4 L4 + 6 T4 at 10 Gb/s."""
+    cluster = Cluster(name="small-fig12")
+    ids = []
+    ids += _add_group(cluster, L4, 4, "l4", "region-0")
+    ids += _add_group(cluster, T4, 6, "t4", "region-0")
+    cluster.connect_full_mesh(
+        ids, INTRA_REGION_BANDWIDTH, INTRA_REGION_LATENCY, include_coordinator=True
+    )
+    cluster.validate()
+    return cluster

@@ -1,0 +1,47 @@
+"""Core shared primitives for the Helix reproduction.
+
+This package holds the small set of building blocks used across every other
+subpackage: error types, unit conversion helpers, and identifier conventions.
+Keeping these in one place avoids circular imports between the cluster,
+placement, scheduling, and simulation layers.
+"""
+
+from repro.core.errors import (
+    ReproError,
+    ClusterError,
+    PlacementError,
+    SchedulingError,
+    SimulationError,
+    SolverError,
+)
+from repro.core.units import (
+    GB,
+    MB,
+    KB,
+    GBPS,
+    MBPS,
+    GBIT,
+    MBIT,
+    TFLOPS,
+    bits_to_bytes,
+    bytes_to_gb,
+)
+
+__all__ = [
+    "ReproError",
+    "ClusterError",
+    "PlacementError",
+    "SchedulingError",
+    "SimulationError",
+    "SolverError",
+    "GB",
+    "MB",
+    "KB",
+    "GBPS",
+    "MBPS",
+    "GBIT",
+    "MBIT",
+    "TFLOPS",
+    "bits_to_bytes",
+    "bytes_to_gb",
+]

@@ -1,0 +1,30 @@
+"""Exception hierarchy for the Helix reproduction.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures without also swallowing programming errors
+such as ``TypeError``.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ClusterError(ReproError):
+    """Invalid cluster topology, unknown node, or malformed link."""
+
+
+class PlacementError(ReproError):
+    """A model placement is infeasible or violates placement invariants."""
+
+
+class SchedulingError(ReproError):
+    """A request could not be scheduled onto a valid pipeline."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class SolverError(ReproError):
+    """The MILP/LP solver failed or returned an unusable solution."""

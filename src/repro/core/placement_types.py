@@ -1,0 +1,157 @@
+"""The :class:`ModelPlacement` data type, shared by flow, placement, and sim.
+
+A placement maps each used compute node to the contiguous interval of model
+layers it holds (paper §4.1: the placement function Ψ returns a continuous
+subset of the model). The type lives in ``core`` because both the flow-graph
+construction and the placement planners depend on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import PlacementError
+
+
+@dataclass(frozen=True)
+class StageAssignment:
+    """Layers ``[start, end)`` held by one node."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start < self.end:
+            raise PlacementError(
+                f"invalid layer interval [{self.start}, {self.end})"
+            )
+
+    @property
+    def num_layers(self) -> int:
+        """Number of layers in the interval."""
+        return self.end - self.start
+
+    def holds(self, layer: int) -> bool:
+        """Whether ``layer`` falls inside the interval."""
+        return self.start <= layer < self.end
+
+    def overlaps(self, other: "StageAssignment") -> bool:
+        """Whether two intervals share at least one layer."""
+        return self.start < other.end and other.start < self.end
+
+
+@dataclass(frozen=True)
+class ModelPlacement:
+    """A full model placement: node id -> layer interval.
+
+    Nodes absent from ``assignments`` hold no layers and take no part in
+    serving. The placement must cover every layer of the model at least once
+    to be servable; :meth:`validate` checks that plus interval bounds.
+
+    Attributes:
+        num_layers: Total layers ``L`` of the served model.
+        assignments: Mapping from node id to its layer interval.
+    """
+
+    num_layers: int
+    assignments: dict[str, StageAssignment] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_layers <= 0:
+            raise PlacementError(f"num_layers must be positive, got {self.num_layers}")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_intervals(
+        cls, num_layers: int, intervals: dict[str, tuple[int, int]]
+    ) -> "ModelPlacement":
+        """Build from plain ``{node_id: (start, end)}`` tuples."""
+        assignments = {
+            node_id: StageAssignment(start, end)
+            for node_id, (start, end) in intervals.items()
+        }
+        return cls(num_layers=num_layers, assignments=assignments)
+
+    def interval(self, node_id: str) -> StageAssignment:
+        """The interval held by ``node_id``; raises if the node holds none."""
+        try:
+            return self.assignments[node_id]
+        except KeyError:
+            raise PlacementError(f"node {node_id!r} holds no layers") from None
+
+    def holds_layers(self, node_id: str) -> bool:
+        """Whether the node participates in this placement."""
+        return node_id in self.assignments
+
+    @property
+    def used_nodes(self) -> list[str]:
+        """Ids of nodes holding at least one layer, in insertion order."""
+        return list(self.assignments)
+
+    def holders_of(self, layer: int) -> list[str]:
+        """All nodes whose interval contains ``layer``."""
+        return [
+            node_id
+            for node_id, stage in self.assignments.items()
+            if stage.holds(layer)
+        ]
+
+    def first_layer_holders(self) -> list[str]:
+        """Nodes holding layer 0 (entry points from the coordinator)."""
+        return self.holders_of(0)
+
+    def last_layer_holders(self) -> list[str]:
+        """Nodes holding the final layer (exit points to the coordinator)."""
+        return self.holders_of(self.num_layers - 1)
+
+    def coverage(self) -> list[int]:
+        """Replication count per layer index."""
+        counts = [0] * self.num_layers
+        for stage in self.assignments.values():
+            for layer in range(stage.start, stage.end):
+                counts[layer] += 1
+        return counts
+
+    def max_pipeline_depth(self) -> int:
+        """Upper bound on pipeline stages: distinct interval boundaries."""
+        starts = {stage.start for stage in self.assignments.values()}
+        return len(starts)
+
+    def validate(self, max_layers_per_node: dict[str, int] | None = None) -> None:
+        """Check the placement is servable.
+
+        Args:
+            max_layers_per_node: Optional per-node VRAM layer bounds; when
+                given, each assignment is checked against its bound.
+
+        Raises:
+            PlacementError: If any layer is uncovered, an interval exceeds
+                model bounds, or a node exceeds its VRAM bound.
+        """
+        if not self.assignments:
+            raise PlacementError("placement assigns no layers to any node")
+        for node_id, stage in self.assignments.items():
+            if stage.end > self.num_layers:
+                raise PlacementError(
+                    f"node {node_id!r} holds layers up to {stage.end} but the "
+                    f"model has only {self.num_layers}"
+                )
+            if max_layers_per_node is not None:
+                bound = max_layers_per_node.get(node_id)
+                if bound is not None and stage.num_layers > bound:
+                    raise PlacementError(
+                        f"node {node_id!r} holds {stage.num_layers} layers, "
+                        f"exceeding its VRAM bound of {bound}"
+                    )
+        uncovered = [i for i, c in enumerate(self.coverage()) if c == 0]
+        if uncovered:
+            raise PlacementError(f"layers not covered by any node: {uncovered}")
+
+    def describe(self) -> str:
+        """Multi-line human-readable dump, sorted by start layer."""
+        rows = sorted(self.assignments.items(), key=lambda kv: (kv[1].start, kv[0]))
+        lines = [
+            f"  {node_id}: layers [{stage.start}, {stage.end})"
+            for node_id, stage in rows
+        ]
+        return "\n".join(lines)

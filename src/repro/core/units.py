@@ -1,0 +1,38 @@
+"""Unit constants and conversion helpers.
+
+All internal computation uses base SI units: bytes, bytes/second, FLOP/s, and
+seconds. The constants below let call sites spell quantities the way the paper
+does (``10 * GBIT`` for a 10 Gb/s link, ``80 * GB`` for an H100's VRAM) while
+keeping the arithmetic in plain floats.
+
+Note the deliberate distinction between *bytes* units (``GB``, ``MB``, ``KB``)
+and *bits* units (``GBIT``, ``MBIT``): network bandwidth in the paper is
+always quoted in bits per second (e.g. Table 7's "123 Mbps"), while memory is
+quoted in bytes.
+"""
+
+# Byte quantities (decimal, matching GPU datasheets and the paper's tables).
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+
+# Bandwidths expressed in bytes/second.
+GBPS = GB  # 1 gigabyte per second
+MBPS = MB  # 1 megabyte per second
+
+# Bandwidths expressed in bits/second, converted to bytes/second.
+GBIT = GB / 8.0  # 1 gigabit per second == 125 MB/s
+MBIT = MB / 8.0  # 1 megabit per second == 125 KB/s
+
+# Compute rates.
+TFLOPS = 1e12
+
+
+def bits_to_bytes(bits: float) -> float:
+    """Convert a bit count (or bit rate) to bytes (or bytes/second)."""
+    return bits / 8.0
+
+
+def bytes_to_gb(num_bytes: float) -> float:
+    """Convert bytes to decimal gigabytes, for reporting."""
+    return num_bytes / GB

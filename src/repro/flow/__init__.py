@@ -1,0 +1,33 @@
+"""Max-flow machinery: the cluster graph abstraction of paper §4.3.
+
+:mod:`repro.flow.maxflow` is a self-contained Dinic's-algorithm
+implementation (the paper uses preflow-push; the optimum is
+algorithm-independent and Dinic terminates with a true flow, which the
+IWRR scheduler needs). Results are cross-checked against networkx's
+preflow-push in the test suite.
+
+:mod:`repro.flow.graph` turns ``(cluster, model, placement)`` into the
+directed graph of Fig. 2 — split node vertices whose internal edge carries
+the profiled token throughput ``T_j``, and connection edges whose capacity is
+bandwidth divided by per-token message size — and solves for the maximum
+serving throughput.
+"""
+
+from repro.flow.maxflow import FlowNetwork, MaxFlowResult
+from repro.flow.graph import (
+    FlowGraph,
+    FlowSolution,
+    SOURCE,
+    SINK,
+    connection_is_valid,
+)
+
+__all__ = [
+    "FlowNetwork",
+    "MaxFlowResult",
+    "FlowGraph",
+    "FlowSolution",
+    "SOURCE",
+    "SINK",
+    "connection_is_valid",
+]

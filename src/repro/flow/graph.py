@@ -1,0 +1,217 @@
+"""Graph abstraction of a cluster with a given model placement (paper §4.3).
+
+Each compute node ``c_i`` becomes two vertices ``c_i^in -> c_i^out`` whose
+connecting edge carries the node's profiled token throughput ``T_j`` for the
+``j`` layers it holds. The coordinator becomes ``source`` and ``sink``.
+Network connections become edges whose capacity is bandwidth divided by the
+per-token message size — 4-byte token ids on coordinator links, hidden-state
+activations on compute-to-compute links.
+
+A connection is *valid* (paper's three criteria) when:
+
+1. ``source -> c_i`` and ``c_i`` holds the first layer;
+2. ``c_j -> sink`` and ``c_j`` holds the last layer;
+3. ``c_i -> c_j`` and ``c_j`` holds the layers needed right after ``c_i``
+   finishes — with partial inference (§4.4), ``s_j <= e_i < e_j``; without
+   it, exactly ``e_i == s_j``.
+
+The max flow of the resulting graph is the placement's maximum serving
+throughput in tokens/second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import COORDINATOR
+from repro.cluster.profiler import Profiler
+from repro.core.errors import PlacementError
+from repro.core.placement_types import ModelPlacement
+from repro.flow.maxflow import FlowNetwork
+from repro.models.specs import ModelSpec
+
+SOURCE = "source"
+SINK = "sink"
+
+
+def _in_vertex(node_id: str) -> str:
+    return f"{node_id}::in"
+
+
+def _out_vertex(node_id: str) -> str:
+    return f"{node_id}::out"
+
+
+def connection_is_valid(
+    placement: ModelPlacement,
+    src: str,
+    dst: str,
+    partial_inference: bool = True,
+) -> bool:
+    """Whether a directed network connection is usable under ``placement``.
+
+    ``src``/``dst`` may be node ids or :data:`~repro.cluster.node.COORDINATOR`.
+    """
+    if src == COORDINATOR and dst == COORDINATOR:
+        return False
+    if src == COORDINATOR:
+        return placement.holds_layers(dst) and placement.interval(dst).start == 0
+    if dst == COORDINATOR:
+        return (
+            placement.holds_layers(src)
+            and placement.interval(src).end == placement.num_layers
+        )
+    if not (placement.holds_layers(src) and placement.holds_layers(dst)):
+        return False
+    src_end = placement.interval(src).end
+    dst_stage = placement.interval(dst)
+    if partial_inference:
+        return dst_stage.start <= src_end < dst_stage.end
+    return src_end == dst_stage.start
+
+
+@dataclass(frozen=True)
+class FlowSolution:
+    """A solved max-flow over the cluster graph.
+
+    Attributes:
+        max_flow: Maximum serving throughput in tokens/second.
+        connection_flows: Flow per valid network connection, keyed by
+            ``(src, dst)`` where endpoints are node ids or ``COORDINATOR``.
+        node_flows: Flow through each node's internal capacity edge.
+        node_capacities: The ``T_j`` capacity of each used node.
+        connection_capacities: Token capacity per valid connection.
+    """
+
+    max_flow: float
+    connection_flows: dict[tuple[str, str], float]
+    node_flows: dict[str, float]
+    node_capacities: dict[str, float]
+    connection_capacities: dict[tuple[str, str], float]
+
+    def node_utilization(self, node_id: str) -> float:
+        """Fraction of the node's token throughput used by the max flow."""
+        capacity = self.node_capacities.get(node_id, 0.0)
+        if capacity <= 0:
+            return 0.0
+        return self.node_flows.get(node_id, 0.0) / capacity
+
+    def outgoing_flows(self, src: str) -> dict[str, float]:
+        """Positive flows leaving ``src`` keyed by destination."""
+        return {
+            dst: flow
+            for (s, dst), flow in self.connection_flows.items()
+            if s == src and flow > 0.0
+        }
+
+
+class FlowGraph:
+    """Builds and solves the paper's graph abstraction.
+
+    Args:
+        cluster: The serving cluster.
+        model: The served model.
+        placement: A validated model placement.
+        profiler: Source of ``T_j`` and link token capacities.
+        partial_inference: Whether overlapping intervals may hand off
+            mid-interval (paper §4.4's partial inference).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        model: ModelSpec,
+        placement: ModelPlacement,
+        profiler: Profiler | None = None,
+        partial_inference: bool = True,
+    ) -> None:
+        self.cluster = cluster
+        self.model = model
+        self.placement = placement
+        self.profiler = profiler or Profiler()
+        self.partial_inference = partial_inference
+        self._network = FlowNetwork()
+        self._edge_registry: dict[int, tuple[str, str, str]] = {}
+        self._node_capacities: dict[str, float] = {}
+        self._connection_capacities: dict[tuple[str, str], float] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        placement = self.placement
+        if not placement.first_layer_holders():
+            raise PlacementError("no node holds the first layer")
+        if not placement.last_layer_holders():
+            raise PlacementError("no node holds the last layer")
+
+        net = self._network
+        net.add_node(SOURCE)
+        net.add_node(SINK)
+
+        for node_id in placement.used_nodes:
+            node = self.cluster.node(node_id)
+            stage = placement.interval(node_id)
+            capacity = self.profiler.throughput(node, self.model, stage.num_layers)
+            self._node_capacities[node_id] = capacity
+            edge_id = net.add_edge(_in_vertex(node_id), _out_vertex(node_id), capacity)
+            self._edge_registry[edge_id] = ("node", node_id, node_id)
+
+        for (src, dst), link in self.cluster.links.items():
+            if not connection_is_valid(placement, src, dst, self.partial_inference):
+                continue
+            carries_activations = src != COORDINATOR and dst != COORDINATOR
+            capacity = self.profiler.link_token_capacity(
+                link, self.model, carries_activations
+            )
+            if src == COORDINATOR:
+                u, v = SOURCE, _in_vertex(dst)
+            elif dst == COORDINATOR:
+                u, v = _out_vertex(src), SINK
+            else:
+                u, v = _out_vertex(src), _in_vertex(dst)
+            edge_id = net.add_edge(u, v, capacity)
+            self._edge_registry[edge_id] = ("connection", src, dst)
+            self._connection_capacities[(src, dst)] = capacity
+
+    # ------------------------------------------------------------------
+    @property
+    def network(self) -> FlowNetwork:
+        """The underlying flow network (for inspection and tests)."""
+        return self._network
+
+    def valid_connections(self) -> list[tuple[str, str]]:
+        """All valid network connections under the placement."""
+        return list(self._connection_capacities)
+
+    def solve(self) -> FlowSolution:
+        """Run push-relabel and aggregate per-connection and per-node flow."""
+        result = self._network.max_flow(SOURCE, SINK)
+        connection_flows: dict[tuple[str, str], float] = {}
+        node_flows: dict[str, float] = {}
+        for edge_id, flow in result.edge_flows.items():
+            kind, src, dst = self._edge_registry[edge_id]
+            if kind == "node":
+                node_flows[src] = node_flows.get(src, 0.0) + flow
+            else:
+                key = (src, dst)
+                connection_flows[key] = connection_flows.get(key, 0.0) + flow
+        return FlowSolution(
+            max_flow=result.value,
+            connection_flows=connection_flows,
+            node_flows=node_flows,
+            node_capacities=dict(self._node_capacities),
+            connection_capacities=dict(self._connection_capacities),
+        )
+
+
+def placement_max_flow(
+    cluster: Cluster,
+    model: ModelSpec,
+    placement: ModelPlacement,
+    profiler: Profiler | None = None,
+    partial_inference: bool = True,
+) -> float:
+    """Convenience: the maximum serving throughput of a placement."""
+    graph = FlowGraph(cluster, model, placement, profiler, partial_inference)
+    return graph.solve().max_flow

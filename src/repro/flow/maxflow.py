@@ -1,0 +1,212 @@
+"""Maximum flow on the cluster graph abstraction.
+
+The paper computes a placement's serving throughput by running a max-flow
+algorithm (preflow-push in their implementation, §4.3) on the cluster's
+graph abstraction. The optimum is algorithm-independent; we use Dinic's
+blocking-flow algorithm because it terminates with a genuine *flow* (not a
+preflow), which the scheduler needs intact for deriving IWRR weights from
+per-edge flows (§5.1). On cluster-sized graphs (tens of vertices, hundreds
+of edges) it solves in microseconds. Results are cross-checked against
+networkx's preflow-push in the test suite.
+
+Capacities are floats (tokens/second); a relative epsilon guards
+comparisons. Parallel edges are supported and reported separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+EPSILON = 1e-9
+
+
+@dataclass
+class _Edge:
+    """Internal adjacency-list arc. ``rev`` indexes the reverse arc."""
+
+    to: int
+    capacity: float
+    flow: float
+    rev: int
+    original: bool  # True for caller-added arcs, False for residual twins.
+    edge_id: int  # Caller-visible id for original arcs, -1 otherwise.
+
+    @property
+    def residual(self) -> float:
+        return self.capacity - self.flow
+
+
+@dataclass(frozen=True)
+class MaxFlowResult:
+    """Outcome of a max-flow computation.
+
+    Attributes:
+        value: The maximum flow value from source to sink.
+        edge_flows: Flow on each caller-added edge, keyed by the edge id
+            returned from :meth:`FlowNetwork.add_edge`.
+        min_cut_source_side: Vertex names reachable from the source in the
+            residual graph (the source side of a minimum cut).
+    """
+
+    value: float
+    edge_flows: dict[int, float]
+    min_cut_source_side: frozenset[str]
+
+
+class FlowNetwork:
+    """A directed flow network over named vertices.
+
+    Example:
+        >>> net = FlowNetwork()
+        >>> _ = net.add_edge("s", "a", 5.0)
+        >>> _ = net.add_edge("a", "t", 3.0)
+        >>> net.max_flow("s", "t").value
+        3.0
+    """
+
+    def __init__(self) -> None:
+        self._index: dict[str, int] = {}
+        self._names: list[str] = []
+        self._adj: list[list[_Edge]] = []
+        self._edge_meta: list[tuple[str, str, float]] = []  # id -> (u, v, cap)
+        self._edge_pos: list[tuple[int, int]] = []  # id -> (vertex, adj slot)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, name: str) -> int:
+        """Ensure a vertex exists; returns its internal index."""
+        if name in self._index:
+            return self._index[name]
+        idx = len(self._names)
+        self._index[name] = idx
+        self._names.append(name)
+        self._adj.append([])
+        return idx
+
+    def add_edge(self, src: str, dst: str, capacity: float) -> int:
+        """Add a directed edge; returns an edge id usable to query flow.
+
+        Parallel edges between the same vertices are kept distinct.
+        """
+        if capacity < 0:
+            raise ValueError(f"negative capacity on {src!r}->{dst!r}")
+        if src == dst:
+            raise ValueError(f"self-loop on {src!r}")
+        u = self.add_node(src)
+        v = self.add_node(dst)
+        edge_id = len(self._edge_meta)
+        forward = _Edge(
+            to=v, capacity=capacity, flow=0.0, rev=len(self._adj[v]),
+            original=True, edge_id=edge_id,
+        )
+        backward = _Edge(
+            to=u, capacity=0.0, flow=0.0, rev=len(self._adj[u]),
+            original=False, edge_id=-1,
+        )
+        self._adj[u].append(forward)
+        self._adj[v].append(backward)
+        self._edge_meta.append((src, dst, capacity))
+        self._edge_pos.append((u, len(self._adj[u]) - 1))
+        return edge_id
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._names)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edge_meta)
+
+    def node_names(self) -> list[str]:
+        """All vertex names in insertion order."""
+        return list(self._names)
+
+    def edge_endpoints(self, edge_id: int) -> tuple[str, str, float]:
+        """``(src, dst, capacity)`` of a caller-added edge."""
+        return self._edge_meta[edge_id]
+
+    # ------------------------------------------------------------------
+    # Max flow (Dinic's blocking-flow algorithm)
+    # ------------------------------------------------------------------
+    def max_flow(self, source: str, sink: str) -> MaxFlowResult:
+        """Compute max flow from ``source`` to ``sink``."""
+        if source not in self._index or sink not in self._index:
+            raise ValueError("source or sink vertex not present in the network")
+        if source == sink:
+            raise ValueError("source and sink must differ")
+        s = self._index[source]
+        t = self._index[sink]
+        n = self.num_nodes
+
+        scale = max(
+            (e.capacity for adj in self._adj for e in adj if e.original),
+            default=1.0,
+        )
+        eps = EPSILON * max(scale, 1.0)
+
+        total = 0.0
+        level = [0] * n
+        iter_state = [0] * n
+
+        def bfs() -> bool:
+            """Build the level graph; returns whether the sink is reachable."""
+            for i in range(n):
+                level[i] = -1
+            level[s] = 0
+            queue = [s]
+            head = 0
+            while head < len(queue):
+                u = queue[head]
+                head += 1
+                for edge in self._adj[u]:
+                    if edge.residual > eps and level[edge.to] < 0:
+                        level[edge.to] = level[u] + 1
+                        queue.append(edge.to)
+            return level[t] >= 0
+
+        def dfs(u: int, limit: float) -> float:
+            """Send up to ``limit`` along admissible paths from ``u``."""
+            if u == t:
+                return limit
+            while iter_state[u] < len(self._adj[u]):
+                edge = self._adj[u][iter_state[u]]
+                if edge.residual > eps and level[edge.to] == level[u] + 1:
+                    sent = dfs(edge.to, min(limit, edge.residual))
+                    if sent > eps:
+                        edge.flow += sent
+                        self._adj[edge.to][edge.rev].flow -= sent
+                        return sent
+                iter_state[u] += 1
+            return 0.0
+
+        while bfs():
+            for i in range(n):
+                iter_state[i] = 0
+            while True:
+                sent = dfs(s, float("inf"))
+                if sent <= eps:
+                    break
+                total += sent
+
+        edge_flows = {}
+        for edge_id, (u, slot) in enumerate(self._edge_pos):
+            edge_flows[edge_id] = max(0.0, self._adj[u][slot].flow)
+
+        cut = self._residual_reachable(s, eps)
+        cut_names = frozenset(self._names[v] for v in cut)
+        return MaxFlowResult(
+            value=total, edge_flows=edge_flows, min_cut_source_side=cut_names
+        )
+
+    def _residual_reachable(self, s: int, eps: float) -> set[int]:
+        """Vertices reachable from ``s`` in the residual graph."""
+        seen = {s}
+        stack = [s]
+        while stack:
+            u = stack.pop()
+            for edge in self._adj[u]:
+                if edge.residual > eps and edge.to not in seen:
+                    seen.add(edge.to)
+                    stack.append(edge.to)
+        return seen

@@ -1,0 +1,41 @@
+"""LLM architecture specifications and memory accounting.
+
+The placement planner and the simulator never touch real model weights; they
+only need the *shape* of the model: how many Transformer layers it has, how
+large each layer's parameters are, how big the per-token activation is, and
+how much KV cache each token consumes. :class:`~repro.models.specs.ModelSpec`
+captures exactly that, and :mod:`repro.models.memory` derives the quantities
+the paper reports in Table 1.
+"""
+
+from repro.models.specs import (
+    ModelSpec,
+    LLAMA_30B,
+    LLAMA_70B,
+    GPT3_175B,
+    GROK_314B,
+    LLAMA3_405B,
+    MODEL_CATALOG,
+    get_model,
+)
+from repro.models.memory import (
+    min_gpus_required,
+    max_layers_on_vram,
+    weight_bytes_total,
+    kv_bytes_per_token_layer,
+)
+
+__all__ = [
+    "ModelSpec",
+    "LLAMA_30B",
+    "LLAMA_70B",
+    "GPT3_175B",
+    "GROK_314B",
+    "LLAMA3_405B",
+    "MODEL_CATALOG",
+    "get_model",
+    "min_gpus_required",
+    "max_layers_on_vram",
+    "weight_bytes_total",
+    "kv_bytes_per_token_layer",
+]

@@ -1,0 +1,85 @@
+"""Memory accounting used throughout placement and simulation.
+
+The paper's convention (Table 1 caption): *half* of a GPU's memory stores
+model parameters and the other half is reserved for KV cache. That single
+rule determines both the Table-1 minimum GPU counts and the maximum number of
+layers each node may hold in the MILP (variable ``k`` in §4.4).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.models.specs import ModelSpec
+
+
+def weight_bytes_total(model: ModelSpec, nominal: bool = True) -> float:
+    """Total weight bytes of the model.
+
+    Args:
+        model: The model spec.
+        nominal: If true, use the published parameter count (what Table 1
+            does); otherwise use the architecture-derived per-layer count.
+    """
+    if nominal and model.nominal_params > 0:
+        return model.nominal_params * model.dtype_bytes
+    return model.total_layer_params * model.dtype_bytes
+
+
+def usable_weight_vram(vram_bytes: float, weight_fraction: float = 0.5) -> float:
+    """VRAM available for weights under the half-weights/half-KV rule."""
+    if not 0.0 < weight_fraction <= 1.0:
+        raise ValueError(f"weight_fraction must be in (0, 1], got {weight_fraction}")
+    return vram_bytes * weight_fraction
+
+
+def min_gpus_required(
+    model: ModelSpec, vram_bytes: float, weight_fraction: float = 0.5
+) -> int:
+    """Minimum number of identical GPUs needed to hold the model's weights.
+
+    Reproduces Table 1: ``ceil(weights / (VRAM · weight_fraction))`` with
+    nominal parameter counts.
+    """
+    per_gpu = usable_weight_vram(vram_bytes, weight_fraction)
+    return math.ceil(weight_bytes_total(model, nominal=True) / per_gpu)
+
+
+def max_layers_on_vram(
+    model: ModelSpec, vram_bytes: float, weight_fraction: float = 0.5
+) -> int:
+    """Maximum whole layers a device can hold in its weight partition.
+
+    This is the ``k`` bound on the MILP's per-node layer-count binaries
+    (paper §4.4) and matches the per-node layer counts visible in the
+    paper's placement case studies (T4 → 4, L4 → 7, A100 → 11 layers of
+    LLaMA-2 70B).
+    """
+    per_gpu = usable_weight_vram(vram_bytes, weight_fraction)
+    return int(per_gpu // model.layer_bytes)
+
+
+def kv_bytes_per_token_layer(model: ModelSpec) -> float:
+    """KV-cache bytes per token per layer; re-exported for convenience."""
+    return model.kv_bytes_per_token_layer
+
+
+def kv_token_capacity(
+    model: ModelSpec,
+    vram_bytes: float,
+    num_layers_held: int,
+) -> int:
+    """How many tokens of KV cache a node can hold for its resident layers.
+
+    The KV partition is whatever VRAM remains after the *actually held*
+    weights (the half-VRAM rule is a provisioning bound on how many layers
+    may be placed, not a cap on KV usage). A token occupies KV cache in
+    every resident layer, so capacity shrinks on nodes holding more layers.
+    """
+    if num_layers_held <= 0:
+        return 0
+    kv_vram = vram_bytes - num_layers_held * model.layer_bytes
+    if kv_vram <= 0:
+        return 0
+    per_token = model.kv_bytes_per_token_layer * num_layers_held
+    return int(kv_vram // per_token)

@@ -1,0 +1,206 @@
+"""Transformer model specifications.
+
+A :class:`ModelSpec` records the architectural shape of a decoder-only
+Transformer: layer count, hidden size, attention head layout, and MLP width.
+From these we derive the three quantities the Helix formulation needs:
+
+* ``params_per_layer`` — weight bytes each pipeline stage layer contributes,
+  which bounds how many layers a node can hold (paper §4.4, Table 1);
+* ``activation_bytes_per_token`` — the per-token message size on inter-node
+  links (the "16 KB" in the paper's Fig. 2 example for LLaMA-2 70B);
+* ``kv_bytes_per_token_layer`` — KV-cache growth per generated token per
+  layer, which drives the scheduler's KV-cache estimation (paper §5.2).
+
+The catalog covers the models in the paper's Table 1 plus LLaMA-1 30B used in
+the evaluation. Marketing parameter counts (``nominal_params``) are kept
+separately from the architecture-derived count because Table 1's GPU minimums
+are computed from the nominal sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+TOKEN_BYTES = 4
+"""Bytes transmitted per token on coordinator links (paper Fig. 2: 4 B)."""
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Architectural description of a decoder-only Transformer.
+
+    Attributes:
+        name: Human-readable model name, e.g. ``"LLaMA-70B"``.
+        num_layers: Number of Transformer layers (pipeline-partitionable).
+        hidden_size: Model hidden dimension.
+        num_heads: Number of attention query heads.
+        num_kv_heads: Number of key/value heads (< ``num_heads`` under GQA).
+        intermediate_size: MLP inner dimension.
+        vocab_size: Vocabulary size (embeddings live on the coordinator and
+            are excluded from per-layer accounting, matching the paper's
+            placements).
+        nominal_params: The published parameter count (e.g. 70e9), used only
+            for Table-1-style totals.
+        dtype_bytes: Bytes per parameter / activation element (2 for FP16).
+        mlp_matrices: Number of MLP weight matrices per layer (3 for gated
+            SwiGLU models such as LLaMA, 2 for classic GPT blocks).
+        params_per_layer_override: Explicit per-layer parameter count for
+            architectures the analytic formula does not cover (e.g. MoE).
+    """
+
+    name: str
+    num_layers: int
+    hidden_size: int
+    num_heads: int
+    num_kv_heads: int
+    intermediate_size: int
+    vocab_size: int = 32_000
+    nominal_params: float = 0.0
+    dtype_bytes: int = 2
+    mlp_matrices: int = 3
+    params_per_layer_override: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_layers <= 0:
+            raise ValueError(f"num_layers must be positive, got {self.num_layers}")
+        if self.hidden_size <= 0:
+            raise ValueError(f"hidden_size must be positive, got {self.hidden_size}")
+        if self.num_heads <= 0 or self.num_kv_heads <= 0:
+            raise ValueError("head counts must be positive")
+        if self.num_heads % self.num_kv_heads != 0:
+            raise ValueError(
+                "num_heads must be a multiple of num_kv_heads for GQA, got "
+                f"{self.num_heads} / {self.num_kv_heads}"
+            )
+
+    @property
+    def head_dim(self) -> int:
+        """Dimension of one attention head."""
+        return self.hidden_size // self.num_heads
+
+    @property
+    def kv_dim(self) -> int:
+        """Width of the K (or V) projection output under GQA."""
+        return self.head_dim * self.num_kv_heads
+
+    @property
+    def params_per_layer(self) -> float:
+        """Parameter count of one Transformer layer.
+
+        Attention contributes Q and O projections (``hidden²`` each) plus K
+        and V projections (``hidden · kv_dim`` each); the MLP contributes
+        ``mlp_matrices`` matrices of ``hidden × intermediate``. Norm weights
+        are negligible and omitted.
+        """
+        if self.params_per_layer_override is not None:
+            return self.params_per_layer_override
+        attention = 2 * self.hidden_size**2 + 2 * self.hidden_size * self.kv_dim
+        mlp = self.mlp_matrices * self.hidden_size * self.intermediate_size
+        return float(attention + mlp)
+
+    @property
+    def total_layer_params(self) -> float:
+        """Architecture-derived parameter count across all layers."""
+        return self.params_per_layer * self.num_layers
+
+    @property
+    def layer_bytes(self) -> float:
+        """Weight bytes of a single Transformer layer."""
+        return self.params_per_layer * self.dtype_bytes
+
+    @property
+    def activation_bytes_per_token(self) -> float:
+        """Bytes of the hidden-state activation transmitted per token."""
+        return float(self.hidden_size * self.dtype_bytes)
+
+    @property
+    def kv_bytes_per_token_layer(self) -> float:
+        """KV-cache bytes one token consumes in one layer (K + V)."""
+        return float(2 * self.kv_dim * self.dtype_bytes)
+
+    @property
+    def token_bytes(self) -> int:
+        """Bytes transmitted per token id on coordinator links."""
+        return TOKEN_BYTES
+
+    def flops_per_token_layer(self) -> float:
+        """Approximate FLOPs to process one token through one layer.
+
+        The standard ``2 · params`` matmul estimate; attention score
+        computation is sequence-length dependent and folded into the
+        profiler's efficiency factor instead.
+        """
+        return 2.0 * self.params_per_layer
+
+
+LLAMA_30B = ModelSpec(
+    name="LLaMA-30B",
+    num_layers=60,
+    hidden_size=6656,
+    num_heads=52,
+    num_kv_heads=52,
+    intermediate_size=17920,
+    nominal_params=30e9,
+)
+
+LLAMA_70B = ModelSpec(
+    name="LLaMA-70B",
+    num_layers=80,
+    hidden_size=8192,
+    num_heads=64,
+    num_kv_heads=8,
+    intermediate_size=28672,
+    nominal_params=70e9,
+)
+
+GPT3_175B = ModelSpec(
+    name="GPT-3",
+    num_layers=96,
+    hidden_size=12288,
+    num_heads=96,
+    num_kv_heads=96,
+    intermediate_size=49152,
+    vocab_size=50_257,
+    nominal_params=175e9,
+    mlp_matrices=2,
+)
+
+GROK_314B = ModelSpec(
+    name="Grok-1",
+    num_layers=64,
+    hidden_size=6144,
+    num_heads=48,
+    num_kv_heads=8,
+    intermediate_size=32768,
+    vocab_size=131_072,
+    nominal_params=314e9,
+    # MoE layers: use the dense-equivalent per-layer share of the nominal
+    # parameter count, since every expert's weights must be resident.
+    params_per_layer_override=314e9 / 64,
+)
+
+LLAMA3_405B = ModelSpec(
+    name="LLaMA-3-405B",
+    num_layers=126,
+    hidden_size=16384,
+    num_heads=128,
+    num_kv_heads=8,
+    intermediate_size=53248,
+    vocab_size=128_256,
+    nominal_params=405e9,
+)
+
+MODEL_CATALOG: dict[str, ModelSpec] = {
+    spec.name: spec
+    for spec in (LLAMA_30B, LLAMA_70B, GPT3_175B, GROK_314B, LLAMA3_405B)
+}
+
+
+def get_model(name: str) -> ModelSpec:
+    """Look up a model spec by name, raising ``KeyError`` with suggestions."""
+    try:
+        return MODEL_CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_CATALOG))
+        raise KeyError(f"unknown model {name!r}; known models: {known}") from None

@@ -1,0 +1,632 @@
+"""Helix's MILP-based model placement planner (paper §4.4-4.6).
+
+The formulation follows Tables 5 and 6 of the paper exactly:
+
+* per node ``c_i``: an integer ``s_i`` (first layer held) and binaries
+  ``b_i^j`` (``c_i`` holds exactly ``j`` layers), with
+  ``e_i = s_i + Σ j·b_i^j``;
+* per candidate connection: a continuous flow ``f_{u,v}``, a validity
+  binary ``d_{u,v}``, and (for compute-compute links) the two auxiliary
+  binaries ``cond1``/``cond2`` that linearize the partial-inference
+  validity test ``s_j <= e_i < e_j``;
+* constraint groups 1-5 (placement, flow conservation, inference
+  throughput, connection validity, transmission throughput);
+* objective: maximize total flow out of the source.
+
+The §4.5 optimizations are all implemented: cluster pruning
+(:func:`~repro.placement.pruning.prune_cluster`), heuristic warm starts
+(best-of Swarm/Petals/SP, injected as an objective cutoff for HiGHS or as
+the initial incumbent for our branch-and-bound), and the compute-sum upper
+bound both as a strengthening cut and as an early-stop criterion.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import COORDINATOR
+from repro.cluster.profiler import Profiler
+from repro.core.errors import PlacementError, SolverError
+from repro.core.placement_types import ModelPlacement
+from repro.flow.graph import FlowGraph, connection_is_valid
+from repro.milp.branch_and_bound import BranchAndBoundSolver
+from repro.milp.model import MilpProblem, Variable, lin_sum
+from repro.milp.scipy_backend import solve_with_highs
+from repro.milp.solution import MilpSolution, SolveStatus
+from repro.models.specs import ModelSpec
+from repro.placement.base import PlacementPlanner, PlannerResult
+from repro.placement.pruning import prune_cluster
+
+
+@dataclass
+class MilpFormulation:
+    """The compiled MILP plus handles to its variables.
+
+    Attributes:
+        problem: The MILP.
+        s_vars: Node id -> first-layer integer variable.
+        b_vars: Node id -> list of layer-count binaries (index ``j-1``).
+        f_vars: Connection ``(src, dst)`` -> flow variable. Endpoints are
+            node ids or :data:`~repro.cluster.node.COORDINATOR`.
+        d_vars: Connection -> validity binary.
+        throughputs: Node id -> ``T_j`` table (index ``j-1``).
+        capacities: Connection -> token capacity ``S_{u,v}``.
+        upper_bound: The §4.5 compute-sum throughput upper bound.
+    """
+
+    problem: MilpProblem
+    s_vars: dict[str, Variable]
+    b_vars: dict[str, list[Variable]]
+    f_vars: dict[tuple[str, str], Variable]
+    d_vars: dict[tuple[str, str], Variable]
+    throughputs: dict[str, list[float]]
+    capacities: dict[tuple[str, str], float]
+    upper_bound: float
+
+
+class HelixMilpPlanner(PlacementPlanner):
+    """Optimal model placement by maximizing cluster max-flow with MILP.
+
+    Args:
+        cluster: The target cluster.
+        model: The model to place.
+        profiler: Performance model supplying ``T_j`` and link capacities.
+        partial_inference: Allow ``s_j <= e_i < e_j`` handoffs (§4.4). When
+            false, the simplified exact-boundary validity constraints are
+            used instead.
+        prune_degree: If set, plan on a pruned copy of the cluster keeping
+            at most this many outgoing links per node (§4.5).
+        time_limit: Solver wall-clock budget in seconds.
+        hints: Heuristic placements used to warm-start the solver. The
+            string ``"auto"`` (default) derives them from the Swarm, Petals,
+            and separate-pipelines planners; ``None`` disables hinting.
+        backend: ``"highs"`` (scipy/HiGHS, default) or ``"bnb"`` (our
+            branch-and-bound, which records an incumbent trajectory).
+        mip_rel_gap: Relative optimality gap at which the solver may stop.
+        hint_cutoff: With the HiGHS backend, additionally inject the best
+            hint's value as an objective cut. This prunes the tree like a
+            MIP start but also makes *finding* an incumbent harder, so it
+            is off by default; the ``bnb`` backend warm-starts natively.
+    """
+
+    name = "helix"
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        model: ModelSpec,
+        profiler: Profiler | None = None,
+        partial_inference: bool = True,
+        prune_degree: int | None = None,
+        time_limit: float = 120.0,
+        hints: str | list[ModelPlacement] | None = "auto",
+        backend: str = "highs",
+        mip_rel_gap: float = 1e-4,
+        hint_cutoff: bool = False,
+        lns_rounds: int = 0,
+        lns_window: int = 8,
+        lns_time_limit: float = 20.0,
+    ) -> None:
+        super().__init__(cluster, model, profiler, partial_inference)
+        if backend not in ("highs", "bnb"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.prune_degree = prune_degree
+        self.time_limit = time_limit
+        self.hints = hints
+        self.backend = backend
+        self.mip_rel_gap = mip_rel_gap
+        self.hint_cutoff = hint_cutoff
+        self.lns_rounds = lns_rounds
+        self.lns_window = lns_window
+        self.lns_time_limit = lns_time_limit
+        self.last_trajectory = None  # set by the bnb backend
+
+    # ------------------------------------------------------------------
+    # Formulation (Tables 5 and 6)
+    # ------------------------------------------------------------------
+    def build_formulation(self, cluster: Cluster | None = None) -> MilpFormulation:
+        """Build the MILP for ``cluster`` (default: the planner's cluster)."""
+        cluster = cluster or self.cluster
+        model = self.model
+        num_layers = model.num_layers
+        problem = MilpProblem(name=f"helix-{cluster.name}")
+
+        placeable = [
+            nid for nid in cluster.node_ids
+            if self.profiler.max_layers(cluster.node(nid), model) >= 1
+        ]
+        if not placeable:
+            raise PlacementError("no node can hold even a single layer")
+
+        s_vars: dict[str, Variable] = {}
+        b_vars: dict[str, list[Variable]] = {}
+        throughputs: dict[str, list[float]] = {}
+        end_exprs = {}
+        for nid in placeable:
+            node = cluster.node(nid)
+            k = min(self.profiler.max_layers(node, model), num_layers)
+            s = problem.add_var(f"s[{nid}]", 0, num_layers - 1, integer=True)
+            bs = [problem.add_binary(f"b[{nid}][{j}]") for j in range(1, k + 1)]
+            throughputs[nid] = [
+                self.profiler.throughput(node, model, j) for j in range(1, k + 1)
+            ]
+            s_vars[nid] = s
+            b_vars[nid] = bs
+            # Constraint-1: exactly one layer count, and e_i <= L.
+            problem.add_constraint(lin_sum(bs) == 1, name=f"one_count[{nid}]")
+            end = s + lin_sum((j + 1) * b for j, b in enumerate(bs))
+            end_exprs[nid] = end
+            problem.add_constraint(end <= num_layers, name=f"end_bound[{nid}]")
+
+        f_vars: dict[tuple[str, str], Variable] = {}
+        d_vars: dict[tuple[str, str], Variable] = {}
+        capacities: dict[tuple[str, str], float] = {}
+        big_m = num_layers + 1
+
+        for (src, dst), link in cluster.links.items():
+            if src != COORDINATOR and src not in s_vars:
+                continue
+            if dst != COORDINATOR and dst not in s_vars:
+                continue
+            carries_activations = src != COORDINATOR and dst != COORDINATOR
+            capacity = self.profiler.link_token_capacity(
+                link, model, carries_activations
+            )
+            key = (src, dst)
+            f = problem.add_var(f"f[{src}->{dst}]", 0.0, capacity)
+            d = problem.add_binary(f"d[{src}->{dst}]")
+            f_vars[key] = f
+            d_vars[key] = d
+            capacities[key] = capacity
+            # Constraint-5: transmission throughput through valid links only.
+            problem.add_constraint(f <= capacity * d, name=f"trans[{src}->{dst}]")
+
+            # Constraint-4: connection validity.
+            if src == COORDINATOR:
+                problem.add_constraint(
+                    s_vars[dst] <= num_layers * (1 - d),
+                    name=f"valid_src[{dst}]",
+                )
+            elif dst == COORDINATOR:
+                problem.add_constraint(
+                    num_layers * d <= end_exprs[src],
+                    name=f"valid_sink[{src}]",
+                )
+            elif self.partial_inference:
+                cond1 = problem.add_binary(f"cond1[{src}->{dst}]")
+                cond2 = problem.add_binary(f"cond2[{src}->{dst}]")
+                # cond1 = 1 only if s_j <= e_i.
+                problem.add_constraint(
+                    big_m * (1 - cond1) >= s_vars[dst] - end_exprs[src],
+                    name=f"cond1[{src}->{dst}]",
+                )
+                # cond2 = 1 only if e_i < e_j.
+                problem.add_constraint(
+                    end_exprs[dst] - end_exprs[src] >= 1 - big_m * (1 - cond2),
+                    name=f"cond2[{src}->{dst}]",
+                )
+                problem.add_constraint(
+                    d <= 0.5 * cond1 + 0.5 * cond2,
+                    name=f"valid[{src}->{dst}]",
+                )
+            else:
+                # Simplified validity: d = 1 only if e_i == s_j.
+                problem.add_constraint(
+                    num_layers * d <= num_layers + s_vars[dst] - end_exprs[src],
+                    name=f"valid_eq1[{src}->{dst}]",
+                )
+                problem.add_constraint(
+                    num_layers * d <= num_layers - s_vars[dst] + end_exprs[src],
+                    name=f"valid_eq2[{src}->{dst}]",
+                )
+
+        # Symmetry breaking: nodes with identical hardware in the same
+        # region are interchangeable, so force their first layers into
+        # non-decreasing order by node id. This is throughput-preserving
+        # (any optimum can be permuted to satisfy it) and removes the
+        # factorial permutation symmetry that otherwise drowns the solver.
+        groups: dict[tuple[str, str], list[str]] = {}
+        for nid in placeable:
+            node = cluster.node(nid)
+            groups.setdefault((node.gpu_label, node.region), []).append(nid)
+        for members in groups.values():
+            members.sort()
+            for left, right in zip(members, members[1:]):
+                problem.add_constraint(
+                    s_vars[left] <= s_vars[right],
+                    name=f"sym[{left}<={right}]",
+                )
+
+        # Constraints 2 and 3: flow conservation and inference throughput.
+        for nid in placeable:
+            inflow = lin_sum(
+                f for (src, dst), f in f_vars.items() if dst == nid
+            )
+            outflow = lin_sum(
+                f for (src, dst), f in f_vars.items() if src == nid
+            )
+            problem.add_constraint(inflow == outflow, name=f"conserve[{nid}]")
+            capacity_expr = lin_sum(
+                t * b for t, b in zip(throughputs[nid], b_vars[nid])
+            )
+            problem.add_constraint(
+                inflow <= capacity_expr, name=f"throughput[{nid}]"
+            )
+
+        source_flow = lin_sum(
+            f for (src, _), f in f_vars.items() if src == COORDINATOR
+        )
+        sink_flow = lin_sum(
+            f for (_, dst), f in f_vars.items() if dst == COORDINATOR
+        )
+        # Source out-flow equals sink in-flow (coordinator conservation).
+        problem.add_constraint(source_flow == sink_flow, name="coordinator_balance")
+
+        upper_bound = self.compute_upper_bound()
+        # §4.5 upper bound as a strengthening cut.
+        problem.add_constraint(source_flow <= upper_bound, name="compute_sum_ub")
+        problem.set_objective(source_flow, maximize=True)
+
+        return MilpFormulation(
+            problem=problem,
+            s_vars=s_vars,
+            b_vars=b_vars,
+            f_vars=f_vars,
+            d_vars=d_vars,
+            throughputs=throughputs,
+            capacities=capacities,
+            upper_bound=upper_bound,
+        )
+
+    # ------------------------------------------------------------------
+    # Warm starts
+    # ------------------------------------------------------------------
+    def heuristic_hints(self, cluster: Cluster) -> list[ModelPlacement]:
+        """Candidate placements from the heuristic baselines on ``cluster``."""
+        from repro.placement.petals import PetalsPlanner
+        from repro.placement.separate import SeparatePipelinesPlanner
+        from repro.placement.swarm import SwarmPlanner
+
+        hints: list[ModelPlacement] = []
+        factories = (
+            lambda: SwarmPlanner(
+                cluster, self.model, self.profiler,
+                partial_inference=self.partial_inference,
+            ),
+            lambda: PetalsPlanner(
+                cluster, self.model, self.profiler,
+                partial_inference=self.partial_inference,
+            ),
+            # SP hints must stay inside the MILP's half-VRAM feasible
+            # space, so the fraction relaxation is disabled here.
+            lambda: SeparatePipelinesPlanner(
+                cluster, self.model, self.profiler,
+                partial_inference=self.partial_inference,
+                max_weight_fraction=self.profiler.weight_fraction,
+            ),
+        )
+        for factory in factories:
+            try:
+                hints.append(factory().plan().placement)
+            except PlacementError:
+                continue
+        return hints
+
+    def assignment_from_placement(
+        self,
+        formulation: MilpFormulation,
+        placement: ModelPlacement,
+        cluster: Cluster,
+    ) -> dict[str, float]:
+        """Translate a placement into a full, feasible MILP assignment.
+
+        Nodes the placement leaves unused are given a one-layer dummy
+        assignment with zero flow (the MILP requires every node to hold
+        layers, per Table 6's Σb = 1). Flow variables take the max-flow
+        values of the placement's graph abstraction, which satisfy the
+        conservation and capacity constraints by construction. The
+        placement is first canonicalized (intervals sorted within groups of
+        identical nodes) so it satisfies the symmetry-breaking constraints.
+        """
+        num_layers = self.model.num_layers
+        intervals = {
+            nid: (stage.start, stage.end)
+            for nid, stage in placement.assignments.items()
+        }
+        for nid in formulation.s_vars:
+            intervals.setdefault(nid, (0, 1))
+        intervals = self._canonicalize(intervals, cluster)
+        full = ModelPlacement.from_intervals(num_layers, intervals)
+
+        graph = FlowGraph(
+            cluster, self.model, full, self.profiler, self.partial_inference
+        )
+        solution = graph.solve()
+
+        values: dict[str, float] = {}
+        for nid, s_var in formulation.s_vars.items():
+            stage = full.interval(nid)
+            values[s_var.name] = float(stage.start)
+            for j, b_var in enumerate(formulation.b_vars[nid], start=1):
+                values[b_var.name] = 1.0 if stage.num_layers == j else 0.0
+        for (src, dst), f_var in formulation.f_vars.items():
+            flow = solution.connection_flows.get((src, dst), 0.0)
+            valid = connection_is_valid(full, src, dst, self.partial_inference)
+            values[f_var.name] = flow if valid else 0.0
+            values[formulation.d_vars[(src, dst)].name] = 1.0 if valid else 0.0
+            if src != COORDINATOR and dst != COORDINATOR:
+                e_i = full.interval(src).end
+                s_j = full.interval(dst).start
+                e_j = full.interval(dst).end
+                cond1_name = f"cond1[{src}->{dst}]"
+                cond2_name = f"cond2[{src}->{dst}]"
+                if self.partial_inference:
+                    values[cond1_name] = 1.0 if s_j <= e_i else 0.0
+                    values[cond2_name] = 1.0 if e_i < e_j else 0.0
+        return values
+
+    def _placement_value(
+        self, placement: ModelPlacement, cluster: Cluster | None = None
+    ) -> float:
+        """Max-flow value of a placement, 0 when it cannot serve at all."""
+        cluster = cluster or self.cluster
+        try:
+            graph = FlowGraph(
+                cluster, self.model, placement, self.profiler,
+                self.partial_inference,
+            )
+            return graph.solve().max_flow
+        except PlacementError:
+            return 0.0
+
+    def _extended_placement(
+        self, formulation: MilpFormulation, placement: ModelPlacement,
+        cluster: Cluster,
+    ) -> ModelPlacement:
+        """Extend a placement to all MILP nodes and canonicalize it."""
+        intervals = {
+            nid: (stage.start, stage.end)
+            for nid, stage in placement.assignments.items()
+            if nid in formulation.s_vars
+        }
+        for nid in formulation.s_vars:
+            intervals.setdefault(nid, (0, 1))
+        intervals = self._canonicalize(intervals, cluster)
+        return ModelPlacement.from_intervals(self.model.num_layers, intervals)
+
+    def _lns_improve(
+        self,
+        formulation: MilpFormulation,
+        cluster: Cluster,
+        placement: ModelPlacement,
+    ) -> ModelPlacement:
+        """Large-neighborhood search around an incumbent placement.
+
+        Each round freezes every node's layer assignment except a rotating
+        window of ``lns_window`` nodes and re-solves the (now small) MILP
+        with an objective cutoff at the incumbent's value, adopting any
+        strict improvement. This recovers, with HiGHS, the incremental
+        incumbent-improvement behaviour the paper gets from a warm-started
+        Gurobi on large clusters.
+        """
+        import random as _random
+
+        problem = formulation.problem
+        node_ids = list(formulation.s_vars)
+        best = self._extended_placement(formulation, placement, cluster)
+        best_value = self._placement_value(best, cluster)
+        window = min(self.lns_window, len(node_ids))
+        if window == 0:
+            return best
+
+        rng = _random.Random(0)
+        by_rate = sorted(
+            node_ids,
+            key=lambda nid: -self.per_layer_rate(nid)
+            if nid in self.cluster.node_ids else 0.0,
+        )
+        for round_index in range(self.lns_rounds):
+            phase = round_index % 3
+            if phase == 0:
+                # Contiguous rotating window: local boundary adjustments.
+                start = ((round_index // 3) * window) % len(node_ids)
+                free = {
+                    node_ids[(start + offset) % len(node_ids)]
+                    for offset in range(window)
+                }
+            elif phase == 1:
+                # Random mixed window: cross-GPU-type moves (e.g. swap an
+                # A100's span against several T4 spans).
+                free = set(rng.sample(node_ids, window))
+            else:
+                # High-impact window: the fastest nodes plus random fill —
+                # repositioning the big GPUs moves the min cut the most.
+                half = max(1, window // 2)
+                free = set(by_rate[:half])
+                remainder = [nid for nid in node_ids if nid not in free]
+                free.update(rng.sample(remainder, min(window - half, len(remainder))))
+            base_len = len(problem.constraints)
+            for nid in node_ids:
+                if nid in free:
+                    continue
+                stage = best.interval(nid)
+                problem.add_constraint(
+                    formulation.s_vars[nid] == stage.start,
+                    name=f"lns_fix_s[{nid}]",
+                )
+                for j, b_var in enumerate(formulation.b_vars[nid], start=1):
+                    problem.add_constraint(
+                        b_var == (1.0 if stage.num_layers == j else 0.0),
+                        name=f"lns_fix_b[{nid}][{j}]",
+                    )
+            problem.add_constraint(
+                problem.objective >= best_value + max(1e-6, 1e-6 * best_value),
+                name="lns_cutoff",
+            )
+            solution = solve_with_highs(
+                problem,
+                time_limit=self.lns_time_limit,
+                mip_rel_gap=self.mip_rel_gap,
+            )
+            del problem.constraints[base_len:]
+            if not solution.status.has_solution:
+                continue
+            candidate = self.orchestrate(formulation, solution.values)
+            value = self._placement_value(candidate, cluster)
+            if value > best_value + 1e-9:
+                best = self._extended_placement(formulation, candidate, cluster)
+                best_value = value
+        return best
+
+    @staticmethod
+    def _canonicalize(
+        intervals: dict[str, tuple[int, int]], cluster: Cluster
+    ) -> dict[str, tuple[int, int]]:
+        """Permute intervals within identical-node groups into sorted order.
+
+        Identical nodes are interchangeable, so re-pairing sorted node ids
+        with sorted intervals preserves the placement's throughput while
+        satisfying the MILP's symmetry-breaking constraints.
+        """
+        groups: dict[tuple[str, str], list[str]] = {}
+        for nid in intervals:
+            node = cluster.node(nid)
+            groups.setdefault((node.gpu_label, node.region), []).append(nid)
+        canonical = dict(intervals)
+        for members in groups.values():
+            members.sort()
+            ordered = sorted(intervals[nid] for nid in members)
+            for nid, interval in zip(members, ordered):
+                canonical[nid] = interval
+        return canonical
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan(self) -> PlannerResult:
+        """Solve the MILP and orchestrate the solution into a placement."""
+        start = time.perf_counter()
+        work_cluster = self.cluster
+        if self.prune_degree is not None:
+            work_cluster = prune_cluster(self.cluster, self.prune_degree)
+
+        formulation = self.build_formulation(work_cluster)
+
+        hint_placements: list[ModelPlacement] = []
+        if self.hints == "auto":
+            hint_placements = self.heuristic_hints(work_cluster)
+        elif isinstance(self.hints, list):
+            hint_placements = list(self.hints)
+
+        # Hints are ranked on the *full* cluster (what the deployment will
+        # actually use); the pruned copy only shrinks the MILP.
+        best_hint: tuple[float, ModelPlacement] | None = None
+        for hint in hint_placements:
+            value = self._placement_value(hint, self.cluster)
+            if value <= 0:
+                continue
+            if best_hint is None or value > best_hint[0]:
+                best_hint = (value, hint)
+
+        solution = self._solve(formulation, work_cluster, best_hint)
+        placement = None
+        if solution.status.has_solution:
+            candidate = self.orchestrate(formulation, solution.values)
+            if self._placement_value(candidate) > 0:
+                placement = candidate
+        if placement is None:
+            if best_hint is None:
+                raise SolverError(
+                    f"MILP solve failed ({solution.status.value}) and no "
+                    "heuristic hint is available to fall back on"
+                )
+            # Keep the heuristic incumbent — what a MIP-started solver
+            # would return at timeout.
+            placement = best_hint[1]
+        if best_hint is not None:
+            # Never start from something worse than the best hint.
+            if self._placement_value(placement) < best_hint[0] - 1e-6:
+                placement = best_hint[1]
+
+        if self.lns_rounds > 0:
+            improved = self._lns_improve(formulation, work_cluster, placement)
+            # Adopt the LNS result only if it also wins on the full cluster.
+            if self._placement_value(improved) >= self._placement_value(placement):
+                placement = improved
+
+        flow = self.solve_flow(placement)
+        return PlannerResult(
+            planner_name=self.name,
+            placement=placement,
+            flow=flow,
+            milp=solution,
+            num_variables=formulation.problem.num_variables,
+            num_constraints=formulation.problem.num_constraints,
+            solve_time=time.perf_counter() - start,
+        )
+
+    def _solve(
+        self,
+        formulation: MilpFormulation,
+        work_cluster: Cluster,
+        best_hint: tuple[float, ModelPlacement] | None,
+    ) -> MilpSolution:
+        if self.backend == "bnb":
+            solver = BranchAndBoundSolver(
+                formulation.problem,
+                time_limit=self.time_limit,
+                gap_tolerance=self.mip_rel_gap,
+                early_stop_bound=formulation.upper_bound,
+            )
+            incumbent = None
+            if best_hint is not None:
+                incumbent = self.assignment_from_placement(
+                    formulation, best_hint[1], work_cluster
+                )
+            solution = solver.solve(initial_incumbent=incumbent)
+            self.last_trajectory = list(solver.trajectory)
+            return solution
+
+        cutoff = None
+        if self.hint_cutoff and best_hint is not None and best_hint[0] > 0:
+            cutoff = best_hint[0] * (1.0 - 1e-9)
+        solution = solve_with_highs(
+            formulation.problem,
+            time_limit=self.time_limit,
+            mip_rel_gap=self.mip_rel_gap,
+            objective_cutoff=cutoff,
+        )
+        if solution.status is SolveStatus.INFEASIBLE and cutoff is not None:
+            # Nothing strictly better than the hint exists; fall back to the
+            # hint-free solve, which returns the (optimal) hint-level value.
+            solution = solve_with_highs(
+                formulation.problem,
+                time_limit=self.time_limit,
+                mip_rel_gap=self.mip_rel_gap,
+            )
+        return solution
+
+    def orchestrate(
+        self, formulation: MilpFormulation, values: dict[str, float]
+    ) -> ModelPlacement:
+        """Turn MILP variable values into a :class:`ModelPlacement`.
+
+        (Paper §4.4, "MILP solution orchestration": ``s_i`` and ``e_i`` give
+        the layers node ``c_i`` loads.)
+        """
+        intervals: dict[str, tuple[int, int]] = {}
+        for nid, s_var in formulation.s_vars.items():
+            start = int(round(values[s_var.name]))
+            count = 0
+            for j, b_var in enumerate(formulation.b_vars[nid], start=1):
+                if round(values[b_var.name]) == 1:
+                    count = j
+                    break
+            if count == 0:
+                raise SolverError(
+                    f"node {nid!r}: no layer-count binary set in MILP solution"
+                )
+            intervals[nid] = (start, start + count)
+        return ModelPlacement.from_intervals(self.model.num_layers, intervals)

@@ -1,0 +1,79 @@
+"""Petals-style placement baseline (paper §2.2 and §6.6).
+
+Petals (Borzunov et al.) places servers greedily: each newly joining
+machine picks the contiguous span of model layers whose current aggregate
+throughput is lowest and serves as many layers there as its VRAM allows.
+There is no global optimization — exactly the property the paper's Fig. 9
+deep dive contrasts with Helix's MILP.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.errors import PlacementError
+from repro.core.placement_types import ModelPlacement
+from repro.placement.base import PlacementPlanner, PlannerResult
+
+
+class PetalsPlanner(PlacementPlanner):
+    """Greedy least-throughput-span placement."""
+
+    name = "petals"
+
+    def plan(self) -> PlannerResult:
+        start = time.perf_counter()
+        num_layers = self.model.num_layers
+        per_layer_throughput = [0.0] * num_layers
+        intervals: dict[str, tuple[int, int]] = {}
+
+        for nid in self.nodes_by_capacity():
+            span = min(self.max_layers(nid), num_layers)
+            if span < 1:
+                continue
+            window_start = self._weakest_window(per_layer_throughput, span)
+            intervals[nid] = (window_start, window_start + span)
+            rate = self.per_layer_rate(nid)
+            for layer in range(window_start, window_start + span):
+                per_layer_throughput[layer] += rate
+
+        if not intervals:
+            raise PlacementError("no node can hold a single layer")
+        placement = ModelPlacement.from_intervals(num_layers, intervals)
+        uncovered = [i for i, c in enumerate(placement.coverage()) if c == 0]
+        if uncovered:
+            raise PlacementError(
+                f"petals placement cannot cover layers {uncovered} with the "
+                "available VRAM"
+            )
+        flow = self.solve_flow(placement)
+        return PlannerResult(
+            planner_name=self.name,
+            placement=placement,
+            flow=flow,
+            solve_time=time.perf_counter() - start,
+        )
+
+    @staticmethod
+    def _weakest_window(throughput: list[float], span: int) -> int:
+        """Start of the ``span``-wide window with minimum total throughput.
+
+        Prefers windows containing an entirely-uncovered layer (infinite
+        need) and breaks ties toward the earliest start, mirroring Petals'
+        bias to fill gaps left to right.
+        """
+        num_layers = len(throughput)
+        window = sum(throughput[:span])
+        zeros = sum(1 for t in throughput[:span] if t == 0.0)
+        best_start = 0
+        best_score = (-zeros, window)
+        for start in range(1, num_layers - span + 1):
+            window += throughput[start + span - 1] - throughput[start - 1]
+            zeros += (1 if throughput[start + span - 1] == 0.0 else 0) - (
+                1 if throughput[start - 1] == 0.0 else 0
+            )
+            score = (-zeros, window)
+            if score < best_score:
+                best_score = score
+                best_start = start
+        return best_start

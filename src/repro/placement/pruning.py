@@ -1,0 +1,61 @@
+"""Cluster pruning (paper §4.5, ablated in §6.8 / Table 8).
+
+Large clusters have O(|C|²) candidate connections, most of which a good
+placement never uses. Pruning keeps, for every node, only its
+``max_degree`` highest-bandwidth outgoing inter-node links (coordinator
+links always survive — without them no request could enter or leave). The
+paper prunes to an average degree of 12 and finds placements just as good,
+with a 36-46% smaller MILP.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import COORDINATOR
+
+
+def prune_cluster(cluster: Cluster, max_degree: int = 12) -> Cluster:
+    """Return a copy of ``cluster`` with per-node out-degree capped.
+
+    For each compute node, outgoing links to other compute nodes are ranked
+    by descending bandwidth (ties broken by destination id for determinism)
+    and only the first ``max_degree`` are kept. Links to and from the
+    coordinator are never pruned.
+
+    Args:
+        cluster: The original cluster (not modified).
+        max_degree: Maximum outgoing inter-node links kept per node.
+
+    Returns:
+        A new, validated cluster with the reduced link set.
+    """
+    if max_degree < 1:
+        raise ValueError(f"max_degree must be >= 1, got {max_degree}")
+
+    pruned = Cluster(name=f"{cluster.name}-pruned{max_degree}")
+    for node in cluster:
+        pruned.add_node(node.node_id, node.gpu, node.num_gpus, node.region)
+
+    for node_id in cluster.node_ids:
+        outgoing = [
+            link
+            for link in cluster.links_from(node_id)
+            if link.dst != COORDINATOR
+        ]
+        outgoing.sort(key=lambda l: (-l.bandwidth, l.dst))
+        for link in outgoing[:max_degree]:
+            pruned.connect(
+                link.src, link.dst, link.bandwidth, link.latency,
+                bidirectional=False,
+            )
+
+    for link in cluster.links_from(COORDINATOR):
+        pruned.connect(
+            link.src, link.dst, link.bandwidth, link.latency, bidirectional=False
+        )
+    for link in cluster.links_to(COORDINATOR):
+        pruned.connect(
+            link.src, link.dst, link.bandwidth, link.latency, bidirectional=False
+        )
+    pruned.validate()
+    return pruned

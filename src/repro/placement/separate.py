@@ -1,0 +1,156 @@
+"""Separate-pipelines baseline (SP and SP+, paper §6.2 and §6.5).
+
+SP handles GPU heterogeneity by ignoring it: each GPU type forms its own
+homogeneous model replicas. A type with ``n`` nodes, each able to hold
+``k`` layers, yields ``floor(n / ceil(L/k))`` pipelines; leftover machines
+and types too weak to form a pipeline alone sit idle.
+
+SP+ additionally builds one *mixed* pipeline from the leftover machines
+(largest-capacity first), which is how the paper salvages the V100/T4
+nodes in the 42-node cluster.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.core.errors import PlacementError
+from repro.core.placement_types import ModelPlacement
+from repro.placement.base import PlacementPlanner, PlannerResult
+
+
+class SeparatePipelinesPlanner(PlacementPlanner):
+    """One model replica per group of identical GPUs (optionally + mixed).
+
+    Args:
+        include_mixed_pipeline: Build the SP+ mixed pipeline from machines
+            that no homogeneous pipeline could use.
+    """
+
+    name = "separate-pipelines"
+
+    def __init__(
+        self,
+        *args,
+        include_mixed_pipeline: bool = False,
+        max_weight_fraction: float = 0.92,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.include_mixed_pipeline = include_mixed_pipeline
+        self.max_weight_fraction = max_weight_fraction
+        if include_mixed_pipeline:
+            self.name = "separate-pipelines-plus"
+
+    _FRACTION_STEPS = (0.5, 0.6, 0.7, 0.8, 0.9, 0.92)
+
+    def _group_capacity(self, node_id: str, group_size: int) -> int:
+        """Layers per node for a group, relaxing the VRAM rule if needed.
+
+        Starts at the paper's half-VRAM rule; when a type cannot form a
+        pipeline at that provisioning, SP gives up KV-cache room and packs
+        more layers per node (§6.3's "without leaving enough VRAM for
+        KV-cache"), up to ``max_weight_fraction``.
+        """
+        num_layers = self.model.num_layers
+        for fraction in self._FRACTION_STEPS:
+            if fraction > self.max_weight_fraction:
+                break
+            capacity = self.max_layers(node_id, fraction)
+            if capacity >= 1 and group_size // math.ceil(num_layers / capacity) >= 1:
+                return capacity
+        return 0
+
+    def plan(self) -> PlannerResult:
+        start = time.perf_counter()
+        num_layers = self.model.num_layers
+        intervals: dict[str, tuple[int, int]] = {}
+        pipelines: list[list[str]] = []
+        leftovers: list[str] = []
+
+        groups: dict[str, list[str]] = {}
+        for node in self.cluster:
+            groups.setdefault(node.gpu_label, []).append(node.node_id)
+
+        for label in sorted(groups):
+            member_ids = sorted(groups[label])
+            capacity = self._group_capacity(member_ids[0], len(member_ids))
+            if capacity < 1:
+                leftovers.extend(member_ids)
+                continue
+            nodes_per_pipeline = math.ceil(num_layers / capacity)
+            num_pipelines = len(member_ids) // nodes_per_pipeline
+            if num_pipelines == 0:
+                leftovers.extend(member_ids)
+                continue
+            used = 0
+            for _ in range(num_pipelines):
+                members = member_ids[used : used + nodes_per_pipeline]
+                used += nodes_per_pipeline
+                stage_intervals = self._even_stages(num_layers, len(members))
+                for nid, interval in zip(members, stage_intervals):
+                    intervals[nid] = interval
+                pipelines.append(members)
+            leftovers.extend(member_ids[used:])
+
+        if self.include_mixed_pipeline and leftovers:
+            mixed = self._mixed_pipeline(leftovers, num_layers)
+            if mixed is not None:
+                for nid, interval in mixed:
+                    intervals[nid] = interval
+                pipelines.append([nid for nid, _ in mixed])
+
+        if not pipelines:
+            raise PlacementError(
+                "no GPU type has enough nodes to serve a full model replica"
+            )
+
+        placement = ModelPlacement.from_intervals(num_layers, intervals)
+        flow = self.solve_flow(placement, weight_fraction=self.max_weight_fraction)
+        return PlannerResult(
+            planner_name=self.name,
+            placement=placement,
+            flow=flow,
+            pipelines=pipelines,
+            solve_time=time.perf_counter() - start,
+        )
+
+    # ------------------------------------------------------------------
+    def _even_stages(
+        self, num_layers: int, num_stages: int
+    ) -> list[tuple[int, int]]:
+        """Even consecutive split of the model across a pipeline's nodes."""
+        boundaries = [
+            round(i * num_layers / num_stages) for i in range(num_stages + 1)
+        ]
+        return [(boundaries[i], boundaries[i + 1]) for i in range(num_stages)]
+
+    def _mixed_pipeline(
+        self, leftovers: list[str], num_layers: int
+    ) -> list[tuple[str, tuple[int, int]]] | None:
+        """Greedy mixed pipeline: biggest leftover machines take the most
+        layers until the model is covered; ``None`` if VRAM falls short.
+
+        Tries the half-VRAM rule first, then relaxes the weight fraction
+        the same way the homogeneous groups do.
+        """
+        for fraction in self._FRACTION_STEPS:
+            if fraction > self.max_weight_fraction:
+                break
+            ranked = sorted(
+                leftovers, key=lambda nid: (-self.max_layers(nid, fraction), nid)
+            )
+            stages: list[tuple[str, tuple[int, int]]] = []
+            cursor = 0
+            for nid in ranked:
+                if cursor >= num_layers:
+                    break
+                span = min(self.max_layers(nid, fraction), num_layers - cursor)
+                if span < 1:
+                    continue
+                stages.append((nid, (cursor, cursor + span)))
+                cursor += span
+            if cursor >= num_layers:
+                return stages
+        return None

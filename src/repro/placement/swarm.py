@@ -1,0 +1,83 @@
+"""SWARM-style placement baseline (paper §6.2 and Fig. 9b).
+
+SWARM (Ryabinin et al., ICML'23) evenly partitions the model into pipeline
+stages and lets machines join the stage with the least compute capacity.
+Following the paper's baseline configuration, the number of stages is the
+minimum that lets the weakest GPU hold one full stage in half its VRAM —
+this minimizes pipeline depth while leaving room for KV cache.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.core.errors import PlacementError
+from repro.core.placement_types import ModelPlacement
+from repro.placement.base import PlacementPlanner, PlannerResult
+
+
+def even_partition(num_layers: int, num_stages: int) -> list[tuple[int, int]]:
+    """Split ``[0, num_layers)`` into ``num_stages`` near-even intervals."""
+    if not 1 <= num_stages <= num_layers:
+        raise ValueError(
+            f"cannot split {num_layers} layers into {num_stages} stages"
+        )
+    boundaries = [round(i * num_layers / num_stages) for i in range(num_stages + 1)]
+    return [(boundaries[i], boundaries[i + 1]) for i in range(num_stages)]
+
+
+class SwarmPlanner(PlacementPlanner):
+    """Even layer partition + capacity-balanced device assignment."""
+
+    name = "swarm"
+
+    def plan(self) -> PlannerResult:
+        start = time.perf_counter()
+        num_layers = self.model.num_layers
+        layer_bounds = {nid: self.max_layers(nid) for nid in self.cluster.node_ids}
+        usable = [nid for nid, k in layer_bounds.items() if k >= 1]
+        if not usable:
+            raise PlacementError("no node can hold a single layer")
+
+        weakest_capacity = min(layer_bounds[nid] for nid in usable)
+        num_stages = math.ceil(num_layers / weakest_capacity)
+        num_stages = min(num_stages, num_layers, len(usable))
+        stages = even_partition(num_layers, num_stages)
+
+        # Nodes join the stage with the least accumulated compute capacity
+        # among stages whose layer count fits their VRAM. Iterate nodes in
+        # descending capacity so the big GPUs spread out first (greedy
+        # balancing, as in SWARM's join rule).
+        stage_capacity = [0.0] * num_stages
+        stage_members: list[list[str]] = [[] for _ in range(num_stages)]
+        for nid in self.nodes_by_capacity():
+            if layer_bounds[nid] < 1:
+                continue
+            candidates = [
+                i for i, (lo, hi) in enumerate(stages)
+                if hi - lo <= layer_bounds[nid]
+            ]
+            if not candidates:
+                continue
+            target = min(candidates, key=lambda i: (stage_capacity[i], i))
+            stage_members[target].append(nid)
+            stage_capacity[target] += self.per_layer_rate(nid)
+
+        intervals: dict[str, tuple[int, int]] = {}
+        for (lo, hi), members in zip(stages, stage_members):
+            if not members:
+                raise PlacementError(
+                    f"swarm placement leaves stage [{lo}, {hi}) empty"
+                )
+            for nid in members:
+                intervals[nid] = (lo, hi)
+
+        placement = ModelPlacement.from_intervals(num_layers, intervals)
+        flow = self.solve_flow(placement)
+        return PlannerResult(
+            planner_name=self.name,
+            placement=placement,
+            flow=flow,
+            solve_time=time.perf_counter() - start,
+        )

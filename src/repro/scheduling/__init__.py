@@ -1,0 +1,37 @@
+"""Request schedulers (paper §5 and the §6.7 baselines).
+
+Helix's scheduler assigns every request its *own* pipeline by walking the
+cluster's topology graph with per-vertex interleaved weighted round-robin
+(IWRR) selectors whose weights are the max-flow solution's per-connection
+flows, masked by per-node KV-cache estimates.
+
+The baselines the paper compares against are implemented alongside: SWARM's
+real-time-throughput routing, uniform-random routing, shortest-queue-first,
+and the fixed-pipeline round-robin used with the SP placements.
+"""
+
+from repro.scheduling.iwrr import InterleavedWeightedRoundRobin
+from repro.scheduling.pipelines import PipelineStage, RequestPipeline
+from repro.scheduling.kv_estimator import KVCacheEstimator
+from repro.scheduling.base import Scheduler, TopologyGraph
+from repro.scheduling.helix import HelixScheduler
+from repro.scheduling.baselines import (
+    SwarmScheduler,
+    RandomScheduler,
+    ShortestQueueScheduler,
+    FixedPipelineScheduler,
+)
+
+__all__ = [
+    "InterleavedWeightedRoundRobin",
+    "PipelineStage",
+    "RequestPipeline",
+    "KVCacheEstimator",
+    "Scheduler",
+    "TopologyGraph",
+    "HelixScheduler",
+    "SwarmScheduler",
+    "RandomScheduler",
+    "ShortestQueueScheduler",
+    "FixedPipelineScheduler",
+]

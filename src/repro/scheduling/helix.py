@@ -1,0 +1,62 @@
+"""Helix's max-flow-guided per-request pipeline scheduler (paper §5.1).
+
+Each topology-graph vertex carries an IWRR selector whose candidate weights
+are the flows assigned to its outgoing connections by the max-flow solution.
+Scheduling a request walks the graph from the coordinator, consulting each
+vertex's selector in turn, so that over time traffic matches the max-flow
+solution without bursts. Nodes above the KV high-water mark are masked from
+selection (§5.2).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.node import COORDINATOR
+from repro.core.errors import SchedulingError
+from repro.flow.graph import FlowSolution
+from repro.scheduling.base import Scheduler
+from repro.scheduling.iwrr import InterleavedWeightedRoundRobin
+
+_FLOW_EPSILON = 1e-6
+
+
+class HelixScheduler(Scheduler):
+    """IWRR-over-max-flow per-request pipeline scheduler.
+
+    Args:
+        flow: The max-flow solution for the placement (from the planner).
+            Its per-connection flows become IWRR weights; connections with
+            zero flow are never used, exactly as in the paper's Fig. 4.
+        **kwargs: Forwarded to :class:`~repro.scheduling.base.Scheduler`.
+    """
+
+    name = "helix"
+
+    def __init__(self, *args, flow: FlowSolution, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if flow.max_flow <= 0:
+            raise SchedulingError(
+                "max-flow solution carries no flow; placement cannot serve"
+            )
+        self.flow = flow
+        self._selectors: dict[str, InterleavedWeightedRoundRobin] = {}
+        for vertex in [COORDINATOR] + self.placement.used_nodes:
+            weights = {}
+            for successor in self.topology.node_successors(vertex):
+                value = flow.connection_flows.get((vertex, successor), 0.0)
+                if value > _FLOW_EPSILON:
+                    weights[successor] = value
+            if weights:
+                self._selectors[vertex] = InterleavedWeightedRoundRobin(weights)
+
+    def _choose_next(
+        self, current: str, candidates: list[str], input_len: int
+    ) -> str | None:
+        selector = self._selectors.get(current)
+        if selector is None:
+            return None
+        return selector.select(allowed=candidates)
+
+    def selector_weights(self, vertex: str) -> dict[str, float]:
+        """The IWRR weights at a vertex (for inspection and tests)."""
+        selector = self._selectors.get(vertex)
+        return selector.weights if selector is not None else {}

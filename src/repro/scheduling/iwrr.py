@@ -1,0 +1,82 @@
+"""Interleaved weighted round-robin selection (paper §5.1).
+
+The paper binds an IWRR scheduler to each topology-graph vertex so that
+requests follow the max-flow solution "without creating bursts". We use the
+smooth weighted round-robin formulation (the one nginx popularized): each
+selection adds every candidate's weight to its current credit, picks the
+highest-credit candidate, and charges it the total weight. The resulting
+sequence interleaves candidates proportionally to their weights — e.g.
+weights (5, 1, 1) yield ``A A B A A C A`` rather than ``A A A A A B C`` —
+which is exactly the interleaving property IWRR provides.
+
+Weights may be floats (flows in tokens/second). Candidates may be masked
+per call; a fully-masked selector returns ``None``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+
+class InterleavedWeightedRoundRobin:
+    """Smooth weighted round-robin over a fixed candidate set.
+
+    Args:
+        weights: Mapping from candidate to positive weight. Candidates with
+            non-positive weight are dropped at construction.
+    """
+
+    def __init__(self, weights: dict[Hashable, float]) -> None:
+        self._weights = {c: float(w) for c, w in weights.items() if w > 0.0}
+        self._credit = {c: 0.0 for c in self._weights}
+
+    @property
+    def candidates(self) -> list[Hashable]:
+        """Live candidates (positive weight), in insertion order."""
+        return list(self._weights)
+
+    @property
+    def weights(self) -> dict[Hashable, float]:
+        """Candidate weights."""
+        return dict(self._weights)
+
+    def __bool__(self) -> bool:
+        return bool(self._weights)
+
+    def select(self, allowed: Iterable[Hashable] | None = None) -> Hashable | None:
+        """Pick the next candidate, optionally restricted to ``allowed``.
+
+        Masked selections do not disturb the credit of masked candidates,
+        so temporarily-unavailable candidates (e.g. KV-full nodes) resume
+        their fair share once unmasked.
+
+        Returns:
+            The selected candidate, or ``None`` if no candidate is allowed.
+        """
+        if allowed is None:
+            pool = list(self._weights)
+        else:
+            allowed_set = set(allowed)
+            pool = [c for c in self._weights if c in allowed_set]
+        if not pool:
+            return None
+
+        total = sum(self._weights[c] for c in pool)
+        best = None
+        best_credit = float("-inf")
+        for candidate in pool:
+            self._credit[candidate] += self._weights[candidate]
+            if self._credit[candidate] > best_credit:
+                best_credit = self._credit[candidate]
+                best = candidate
+        self._credit[best] -= total
+        return best
+
+    def update_weight(self, candidate: Hashable, weight: float) -> None:
+        """Change (or add/remove) a candidate's weight at runtime."""
+        if weight > 0.0:
+            self._weights[candidate] = float(weight)
+            self._credit.setdefault(candidate, 0.0)
+        else:
+            self._weights.pop(candidate, None)
+            self._credit.pop(candidate, None)

@@ -1,0 +1,82 @@
+"""Per-request pipelines (paper §5.1).
+
+A pipeline is the ordered list of (node, layer-interval) stages one request
+traverses. A valid pipeline infers every model layer exactly once and in
+order; with partial inference a stage may start mid-way through its node's
+resident interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import SchedulingError
+
+
+@dataclass(frozen=True)
+class PipelineStage:
+    """One pipeline hop: ``node_id`` computes layers ``[start, end)``."""
+
+    node_id: str
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start < self.end:
+            raise SchedulingError(
+                f"stage on {self.node_id!r} has invalid interval "
+                f"[{self.start}, {self.end})"
+            )
+
+    @property
+    def num_layers(self) -> int:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class RequestPipeline:
+    """An ordered sequence of stages covering all model layers."""
+
+    stages: tuple[PipelineStage, ...]
+
+    @classmethod
+    def from_stages(cls, stages: list[PipelineStage]) -> "RequestPipeline":
+        return cls(stages=tuple(stages))
+
+    @property
+    def node_ids(self) -> list[str]:
+        """Node ids along the pipeline, in execution order."""
+        return [stage.node_id for stage in self.stages]
+
+    @property
+    def depth(self) -> int:
+        """Number of pipeline stages."""
+        return len(self.stages)
+
+    def validate(self, num_layers: int) -> None:
+        """Check the exactly-once, in-order coverage property.
+
+        Raises:
+            SchedulingError: On gaps, overlaps, repeated nodes, or not
+                covering ``[0, num_layers)``.
+        """
+        if not self.stages:
+            raise SchedulingError("pipeline has no stages")
+        position = 0
+        seen: set[str] = set()
+        for stage in self.stages:
+            if stage.node_id in seen:
+                raise SchedulingError(
+                    f"pipeline visits node {stage.node_id!r} twice"
+                )
+            seen.add(stage.node_id)
+            if stage.start != position:
+                raise SchedulingError(
+                    f"pipeline gap/overlap at layer {position}: next stage "
+                    f"starts at {stage.start}"
+                )
+            position = stage.end
+        if position != num_layers:
+            raise SchedulingError(
+                f"pipeline covers layers [0, {position}) of {num_layers}"
+            )

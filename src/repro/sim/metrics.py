@@ -1,0 +1,169 @@
+"""Serving metrics: the quantities the paper's evaluation reports (§6.2).
+
+* *decode throughput* — decode tokens generated per second inside the
+  measurement window (after warmup);
+* *prompt latency* — time from request arrival to its first output token;
+* *decode latency* — average per-token generation interval of a request.
+
+Latency distributions keep the percentiles the paper's box plots show
+(5/25/50/75/95) plus the mean.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RequestRecord:
+    """Lifecycle timestamps of one simulated request."""
+
+    request_id: str
+    input_len: int
+    output_len: int
+    arrival_time: float
+    schedule_time: float = math.nan
+    first_token_time: float = math.nan
+    finish_time: float = math.nan
+    tokens_generated: int = 0
+    token_times: list[float] = field(default_factory=list)
+
+    @property
+    def finished(self) -> bool:
+        return not math.isnan(self.finish_time)
+
+    @property
+    def prompt_latency(self) -> float:
+        """Arrival to first token, in seconds."""
+        return self.first_token_time - self.arrival_time
+
+    @property
+    def decode_latency(self) -> float:
+        """Mean inter-token interval after the first token, in seconds."""
+        if len(self.token_times) < 2:
+            return math.nan
+        intervals = [
+            b - a for a, b in zip(self.token_times, self.token_times[1:])
+        ]
+        return sum(intervals) / len(intervals)
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of a latency sample (the paper's box-plot quantities)."""
+
+    count: int
+    mean: float
+    p5: float
+    p25: float
+    p50: float
+    p75: float
+    p95: float
+
+    @classmethod
+    def from_samples(cls, samples: list[float]) -> "LatencyStats":
+        clean = sorted(s for s in samples if not math.isnan(s))
+        if not clean:
+            return cls(0, math.nan, math.nan, math.nan, math.nan, math.nan, math.nan)
+
+        def percentile(q: float) -> float:
+            index = q * (len(clean) - 1)
+            low = int(math.floor(index))
+            high = int(math.ceil(index))
+            if low == high:
+                return clean[low]
+            frac = index - low
+            return clean[low] * (1 - frac) + clean[high] * frac
+
+        return cls(
+            count=len(clean),
+            mean=sum(clean) / len(clean),
+            p5=percentile(0.05),
+            p25=percentile(0.25),
+            p50=percentile(0.50),
+            p75=percentile(0.75),
+            p95=percentile(0.95),
+        )
+
+
+@dataclass(frozen=True)
+class ServingMetrics:
+    """Aggregate outcome of one serving experiment.
+
+    Attributes:
+        decode_throughput: Decode tokens/second inside the measurement
+            window.
+        prompt_latency: Distribution of per-request prompt latencies.
+        decode_latency: Distribution of per-request mean decode intervals.
+        requests_finished: Requests completing within the simulation.
+        requests_submitted: Requests that arrived.
+        duration: Measurement-window length in seconds.
+        decode_tokens: Decode tokens counted in the window.
+        kv_overflow_events: Total KV-pool overflows across nodes (should be
+            zero when the scheduler's masking works).
+        avg_pipeline_depth: Mean pipeline depth across finished requests.
+    """
+
+    decode_throughput: float
+    prompt_latency: LatencyStats
+    decode_latency: LatencyStats
+    requests_finished: int
+    requests_submitted: int
+    duration: float
+    decode_tokens: int
+    kv_overflow_events: int
+    avg_pipeline_depth: float
+
+    def summary(self) -> str:
+        """One-line report string."""
+        return (
+            f"decode {self.decode_throughput:.1f} tok/s | "
+            f"prompt p50 {self.prompt_latency.p50:.2f}s | "
+            f"decode p50 {self.decode_latency.p50 * 1000:.0f}ms | "
+            f"{self.requests_finished}/{self.requests_submitted} finished"
+        )
+
+
+def aggregate_metrics(
+    records: list[RequestRecord],
+    warmup: float,
+    end_time: float,
+    kv_overflow_events: int,
+    pipeline_depths: list[int],
+) -> ServingMetrics:
+    """Build :class:`ServingMetrics` from per-request records.
+
+    Decode throughput counts tokens whose emission time falls inside
+    ``[warmup, end_time]``. Latency distributions include only requests
+    that finished after warmup (so cold-start artifacts are excluded).
+    """
+    if end_time <= warmup:
+        raise ValueError(
+            f"measurement window is empty: warmup={warmup}, end={end_time}"
+        )
+    decode_tokens = 0
+    for record in records:
+        # The first token ends the prompt phase; the rest are decode tokens.
+        for token_time in record.token_times[1:]:
+            if warmup <= token_time <= end_time:
+                decode_tokens += 1
+    finished = [r for r in records if r.finished and r.finish_time >= warmup]
+    duration = end_time - warmup
+    return ServingMetrics(
+        decode_throughput=decode_tokens / duration,
+        prompt_latency=LatencyStats.from_samples(
+            [r.prompt_latency for r in finished]
+        ),
+        decode_latency=LatencyStats.from_samples(
+            [r.decode_latency for r in finished]
+        ),
+        requests_finished=sum(1 for r in records if r.finished),
+        requests_submitted=len(records),
+        duration=duration,
+        decode_tokens=decode_tokens,
+        kv_overflow_events=kv_overflow_events,
+        avg_pipeline_depth=(
+            sum(pipeline_depths) / len(pipeline_depths) if pipeline_depths else 0.0
+        ),
+    )

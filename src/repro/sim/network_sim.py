@@ -1,0 +1,51 @@
+"""FIFO bandwidth/latency queues for directed network links.
+
+A link serializes transmissions: a message starts once the link is free,
+occupies it for ``bytes / bandwidth`` seconds, and arrives one propagation
+latency later. Queueing delay (waiting for the link) is tracked separately
+so experiments can report per-link congestion, as the paper's §6.7 case
+study does for its "congestion" links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.network import Link
+
+
+@dataclass
+class LinkChannel:
+    """Runtime state of one directed link.
+
+    Attributes:
+        link: The static link description.
+    """
+
+    link: Link
+    next_free_time: float = 0.0
+    bytes_sent: float = 0.0
+    messages_sent: int = 0
+    total_queueing_delay: float = 0.0
+    max_queueing_delay: float = 0.0
+
+    def transmit(self, now: float, num_bytes: float) -> float:
+        """Enqueue a message at time ``now``; returns its arrival time."""
+        if num_bytes < 0:
+            raise ValueError(f"negative message size {num_bytes}")
+        start = max(now, self.next_free_time)
+        queueing = start - now
+        transmission = num_bytes / self.link.bandwidth
+        self.next_free_time = start + transmission
+        self.bytes_sent += num_bytes
+        self.messages_sent += 1
+        self.total_queueing_delay += queueing
+        self.max_queueing_delay = max(self.max_queueing_delay, queueing)
+        return start + transmission + self.link.latency
+
+    @property
+    def mean_queueing_delay(self) -> float:
+        """Average seconds a message waited for this link."""
+        if self.messages_sent == 0:
+            return 0.0
+        return self.total_queueing_delay / self.messages_sent

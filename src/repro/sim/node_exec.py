@@ -1,0 +1,138 @@
+"""Per-node execution engine with the paper's dynamic batching.
+
+A node alternates between executing one batch and collecting the work that
+arrives meanwhile; when a batch completes, everything queued forms the next
+batch ("this best-effort batching occurs without additional waiting
+periods", §5.1). Batch wall time comes from the profiler's roofline —
+compute proportional to token-layers plus one streaming read of the
+resident weights — so the simulator's node behaviour is consistent with the
+``T_j`` constants the planner optimized against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.node import ComputeNode
+from repro.cluster.profiler import Profiler
+from repro.models.specs import ModelSpec
+
+
+@dataclass(frozen=True)
+class StageWork:
+    """One request-iteration's work at one pipeline stage.
+
+    Attributes:
+        request_id: The owning request.
+        stage_index: Position of this stage in the request's pipeline.
+        num_tokens: Tokens processed this iteration (prompt length during
+            the prompt phase, 1 during decode).
+        num_layers: Layers this stage computes for the request.
+        is_prompt: Whether this is the prompt-phase iteration.
+    """
+
+    request_id: str
+    stage_index: int
+    num_tokens: int
+    num_layers: int
+    is_prompt: bool
+
+    @property
+    def token_layers(self) -> float:
+        """Work contribution in token-layer units."""
+        return float(self.num_tokens * self.num_layers)
+
+
+@dataclass
+class _BatchStats:
+    batches: int = 0
+    busy_time: float = 0.0
+    token_layers: float = 0.0
+    tokens: float = 0.0
+
+
+class NodeExecutor:
+    """Queue + batch executor for one compute node.
+
+    Args:
+        node: The simulated node.
+        model: The served model.
+        profiler: Timing model.
+        resident_layers: Layers the node holds under the placement.
+        max_batch_tokens: Optional cap on tokens per batch; ``None`` means
+            a batch takes everything queued (the paper's policy).
+    """
+
+    def __init__(
+        self,
+        node: ComputeNode,
+        model: ModelSpec,
+        profiler: Profiler,
+        resident_layers: int,
+        max_batch_tokens: int | None = None,
+    ) -> None:
+        if resident_layers < 1:
+            raise ValueError(
+                f"node {node.node_id!r} executes with no resident layers"
+            )
+        if max_batch_tokens is not None and max_batch_tokens < 1:
+            raise ValueError("max_batch_tokens must be >= 1 when set")
+        self.node = node
+        self.model = model
+        self.profiler = profiler
+        self.resident_layers = resident_layers
+        self.max_batch_tokens = max_batch_tokens
+        self.queue: list[StageWork] = []
+        self.busy = False
+        self.stats = _BatchStats()
+
+    # ------------------------------------------------------------------
+    def enqueue(self, work: StageWork) -> None:
+        """Add work to the node's input queue."""
+        self.queue.append(work)
+
+    def has_work(self) -> bool:
+        """Whether the queue is non-empty."""
+        return bool(self.queue)
+
+    def take_batch(self) -> list[StageWork]:
+        """Remove and return the next batch (FIFO, optionally token-capped).
+
+        Always returns at least one item when work is queued, even if that
+        single item exceeds the token cap (a long prompt must still run).
+        """
+        if not self.queue:
+            return []
+        if self.max_batch_tokens is None:
+            batch = self.queue
+            self.queue = []
+            return batch
+        batch: list[StageWork] = []
+        tokens = 0
+        while self.queue:
+            item = self.queue[0]
+            if batch and tokens + item.num_tokens > self.max_batch_tokens:
+                break
+            batch.append(self.queue.pop(0))
+            tokens += item.num_tokens
+        return batch
+
+    def batch_time(self, batch: list[StageWork]) -> float:
+        """Wall time to execute ``batch`` on this node."""
+        token_layers = sum(work.token_layers for work in batch)
+        return self.profiler.batch_time(
+            self.node, self.model, token_layers, self.resident_layers
+        )
+
+    def record_batch(self, batch: list[StageWork], elapsed: float) -> None:
+        """Update utilization statistics after a batch completes."""
+        self.stats.batches += 1
+        self.stats.busy_time += elapsed
+        self.stats.token_layers += sum(w.token_layers for w in batch)
+        self.stats.tokens += sum(w.num_tokens for w in batch)
+
+    def utilization(self, duration: float) -> float:
+        """Busy-time fraction over a duration."""
+        if duration <= 0:
+            return 0.0
+        return min(1.0, self.stats.busy_time / duration)

@@ -1,0 +1,321 @@
+"""The discrete-event serving simulation.
+
+One :class:`Simulation` wires together a cluster, a model placement, a
+scheduler, and a request trace, then plays the serving system forward:
+
+1. A request arrives at the coordinator and asks the scheduler for a
+   per-request pipeline; if every candidate node is KV-masked it waits in
+   a pending queue and is retried whenever capacity frees up (§5.2).
+2. The prompt iteration ships the prompt (token ids) to the first stage,
+   each stage computes its layers and forwards activations, and the last
+   stage returns the first output token to the coordinator.
+3. Each subsequent decode iteration re-enters the same pipeline from the
+   coordinator (§5's runtime design) until ``output_len`` tokens exist.
+
+Nodes batch dynamically (everything queued joins the next batch), links
+are FIFO bandwidth/latency queues, and KV pools track true occupancy.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import COORDINATOR
+from repro.cluster.profiler import Profiler
+from repro.core.errors import SimulationError
+from repro.models.specs import ModelSpec
+from repro.scheduling.base import Scheduler
+from repro.scheduling.pipelines import RequestPipeline
+from repro.sim.kv_cache import KVCachePool
+from repro.sim.metrics import RequestRecord, ServingMetrics, aggregate_metrics
+from repro.sim.network_sim import LinkChannel
+from repro.sim.node_exec import NodeExecutor, StageWork
+from repro.sim.request import Request
+
+
+@dataclass
+class _ActiveRequest:
+    request: Request
+    pipeline: RequestPipeline
+    record: RequestRecord
+    iterations_started: int = 0  # 1 = prompt, then decode iterations
+    kv_tokens_per_node: int = 0
+
+
+class Simulation:
+    """Simulate serving a request trace on a placed cluster.
+
+    Args:
+        cluster: The serving cluster.
+        model: The served model.
+        placement: Model placement in effect.
+        scheduler: A configured scheduler (Helix, Swarm, random, ...).
+        requests: The trace, sorted or not by arrival time.
+        profiler: Timing model; must match the one used for planning.
+        max_batch_tokens: Per-batch token cap on every node (bounds the
+            batch latency of flooded offline runs).
+        max_time: Simulation horizon in seconds; events beyond it are not
+            processed.
+        warmup: Seconds excluded from the measurement window.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        model: ModelSpec,
+        placement,
+        scheduler: Scheduler,
+        requests: list[Request],
+        profiler: Profiler | None = None,
+        max_batch_tokens: int | None = 16384,
+        max_time: float = 3600.0,
+        warmup: float = 0.0,
+    ) -> None:
+        if not requests:
+            raise SimulationError("request trace is empty")
+        self.cluster = cluster
+        self.model = model
+        self.placement = placement
+        self.scheduler = scheduler
+        self.profiler = profiler or Profiler()
+        self.max_time = max_time
+        self.warmup = warmup
+
+        self.requests = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
+        self.executors: dict[str, NodeExecutor] = {}
+        self.kv_pools: dict[str, KVCachePool] = {}
+        for node_id in placement.used_nodes:
+            node = cluster.node(node_id)
+            stage = placement.interval(node_id)
+            self.executors[node_id] = NodeExecutor(
+                node, model, self.profiler, stage.num_layers, max_batch_tokens
+            )
+            self.kv_pools[node_id] = KVCachePool(
+                node_id=node_id,
+                capacity_tokens=self.profiler.kv_capacity(
+                    node, model, stage.num_layers
+                ),
+            )
+        self.channels: dict[tuple[str, str], LinkChannel] = {
+            key: LinkChannel(link) for key, link in cluster.links.items()
+        }
+
+        self._events: list[tuple[float, int, str, object]] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._active: dict[str, _ActiveRequest] = {}
+        self._pending: deque[Request] = deque()
+        self._records: dict[str, RequestRecord] = {}
+        self._pipeline_depths: list[int] = []
+        self._last_token_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Event plumbing
+    # ------------------------------------------------------------------
+    def _push(self, when: float, kind: str, payload: object) -> None:
+        if when < self._now - 1e-9:
+            raise SimulationError(
+                f"event {kind!r} scheduled in the past ({when} < {self._now})"
+            )
+        heapq.heappush(self._events, (when, next(self._seq), kind, payload))
+
+    def run(self) -> ServingMetrics:
+        """Play the trace and return aggregate metrics."""
+        for request in self.requests:
+            self._push(request.arrival_time, "arrival", request)
+
+        while self._events:
+            when, _, kind, payload = heapq.heappop(self._events)
+            if when > self.max_time:
+                break
+            self._now = when
+            if kind == "arrival":
+                self._on_arrival(payload)
+            elif kind == "stage":
+                self._on_stage_arrival(*payload)
+            elif kind == "batch":
+                self._on_batch_complete(*payload)
+            elif kind == "token":
+                self._on_token(payload)
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown event kind {kind!r}")
+
+        end_time = min(self._now, self.max_time)
+        end_time = max(end_time, self.warmup + 1e-9)
+        return aggregate_metrics(
+            records=list(self._records.values()),
+            warmup=self.warmup,
+            end_time=end_time,
+            kv_overflow_events=sum(
+                pool.overflow_events for pool in self.kv_pools.values()
+            ),
+            pipeline_depths=self._pipeline_depths,
+        )
+
+    # ------------------------------------------------------------------
+    # Request lifecycle
+    # ------------------------------------------------------------------
+    def _on_arrival(self, request: Request) -> None:
+        record = RequestRecord(
+            request_id=request.request_id,
+            input_len=request.input_len,
+            output_len=request.output_len,
+            arrival_time=request.arrival_time,
+        )
+        self._records[request.request_id] = record
+        if not self._try_schedule(request):
+            self._pending.append(request)
+
+    def _try_schedule(self, request: Request) -> bool:
+        pipeline = self.scheduler.schedule(request.request_id, request.input_len)
+        if pipeline is None:
+            return False
+        record = self._records[request.request_id]
+        record.schedule_time = self._now
+        active = _ActiveRequest(request=request, pipeline=pipeline, record=record)
+        self._active[request.request_id] = active
+        self._pipeline_depths.append(pipeline.depth)
+        self._start_iteration(active, is_prompt=True)
+        return True
+
+    def _retry_pending(self) -> None:
+        while self._pending:
+            request = self._pending[0]
+            if not self._try_schedule(request):
+                return
+            self._pending.popleft()
+
+    def _start_iteration(self, active: _ActiveRequest, is_prompt: bool) -> None:
+        active.iterations_started += 1
+        first_node = active.pipeline.stages[0].node_id
+        num_tokens = active.request.input_len if is_prompt else 1
+        message_bytes = num_tokens * self.model.token_bytes
+        arrival = self._transmit(COORDINATOR, first_node, message_bytes)
+        self._push(arrival, "stage", (active.request.request_id, 0, is_prompt))
+
+    def _transmit(self, src: str, dst: str, num_bytes: float) -> float:
+        channel = self.channels.get((src, dst))
+        if channel is None:
+            raise SimulationError(f"no link {src!r}->{dst!r} for transmission")
+        return channel.transmit(self._now, num_bytes)
+
+    def _on_stage_arrival(
+        self, request_id: str, stage_index: int, is_prompt: bool
+    ) -> None:
+        active = self._active.get(request_id)
+        if active is None:
+            raise SimulationError(f"stage arrival for unknown request {request_id!r}")
+        stage = active.pipeline.stages[stage_index]
+        num_tokens = active.request.input_len if is_prompt else 1
+        work = StageWork(
+            request_id=request_id,
+            stage_index=stage_index,
+            num_tokens=num_tokens,
+            num_layers=stage.num_layers,
+            is_prompt=is_prompt,
+        )
+        executor = self.executors[stage.node_id]
+        executor.enqueue(work)
+        if not executor.busy:
+            self._start_batch(stage.node_id)
+
+    def _start_batch(self, node_id: str) -> None:
+        executor = self.executors[node_id]
+        batch = executor.take_batch()
+        if not batch:
+            executor.busy = False
+            return
+        executor.busy = True
+        elapsed = executor.batch_time(batch)
+        self._push(self._now + elapsed, "batch", (node_id, batch, elapsed))
+
+    def _on_batch_complete(
+        self, node_id: str, batch: list[StageWork], elapsed: float
+    ) -> None:
+        executor = self.executors[node_id]
+        executor.busy = False
+        executor.record_batch(batch, elapsed)
+        tokens = sum(work.num_tokens for work in batch)
+        self.scheduler.notify_node_progress(node_id, tokens, elapsed)
+
+        for work in batch:
+            active = self._active.get(work.request_id)
+            if active is None:
+                continue  # finished early under max_time truncation
+            # KV grows on this node: the whole prompt once, then one token
+            # per decode iteration.
+            self.kv_pools[node_id].allocate(work.num_tokens)
+            next_index = work.stage_index + 1
+            if next_index < active.pipeline.depth:
+                next_node = active.pipeline.stages[next_index].node_id
+                size = work.num_tokens * self.model.activation_bytes_per_token
+                arrival = self._transmit(node_id, next_node, size)
+                self._push(
+                    arrival,
+                    "stage",
+                    (work.request_id, next_index, work.is_prompt),
+                )
+            else:
+                arrival = self._transmit(
+                    node_id, COORDINATOR, self.model.token_bytes
+                )
+                self._push(arrival, "token", work.request_id)
+
+        if executor.has_work():
+            self._start_batch(node_id)
+
+    def _on_token(self, request_id: str) -> None:
+        active = self._active.get(request_id)
+        if active is None:
+            raise SimulationError(f"token for unknown request {request_id!r}")
+        record = active.record
+        if not record.token_times:
+            record.first_token_time = self._now
+        record.token_times.append(self._now)
+        record.tokens_generated += 1
+        self._last_token_time = self._now
+
+        if record.tokens_generated >= active.request.output_len:
+            self._finish(active)
+        else:
+            self._start_iteration(active, is_prompt=False)
+
+    def _finish(self, active: _ActiveRequest) -> None:
+        record = active.record
+        record.finish_time = self._now
+        # Each pipeline node stored the prompt plus one token per decode
+        # iteration processed there.
+        tokens_per_node = active.request.input_len + (active.iterations_started - 1)
+        for stage in active.pipeline.stages:
+            self.kv_pools[stage.node_id].free(tokens_per_node)
+        del self._active[active.request.request_id]
+        self.scheduler.notify_finished(active.request.request_id)
+        self._retry_pending()
+
+    # ------------------------------------------------------------------
+    # Introspection for tests and case studies
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    def record_of(self, request_id: str) -> RequestRecord:
+        """Per-request record (available after the run)."""
+        return self._records[request_id]
+
+    def congestion_report(self, top: int = 5) -> list[tuple[str, str, float]]:
+        """Links with the largest mean queueing delay (src, dst, seconds)."""
+        ranked = sorted(
+            (
+                (key[0], key[1], channel.mean_queueing_delay)
+                for key, channel in self.channels.items()
+                if channel.messages_sent > 0
+            ),
+            key=lambda row: -row[2],
+        )
+        return ranked[:top]

@@ -1,0 +1,31 @@
+"""Workload traces (paper §6.2, Fig. 5).
+
+The paper evaluates on the Azure Conversation dataset, pruned to inputs
+<= 2048 and outputs <= 1024 (16657 requests, mean input 763, mean output
+232). The dataset itself is not redistributable here, so
+:mod:`repro.trace.azure` synthesizes an equivalent trace: log-normal length
+marginals calibrated to the published means and caps, plus the dataset's
+diurnal arrival-rate shape for online serving.
+"""
+
+from repro.trace.azure import (
+    AzureTraceConfig,
+    synthesize_azure_trace,
+    trace_statistics,
+)
+from repro.trace.arrival import (
+    offline_arrivals,
+    poisson_arrivals,
+    diurnal_arrivals,
+    rate_for_utilization,
+)
+
+__all__ = [
+    "AzureTraceConfig",
+    "synthesize_azure_trace",
+    "trace_statistics",
+    "offline_arrivals",
+    "poisson_arrivals",
+    "diurnal_arrivals",
+    "rate_for_utilization",
+]

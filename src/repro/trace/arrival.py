@@ -1,0 +1,100 @@
+"""Arrival processes for offline and online serving (paper §6.2, Fig. 5b).
+
+* Offline: every request is available at time zero ("requests arrive at the
+  rate needed to fully utilize the cluster").
+* Online: Poisson arrivals whose rate follows the Azure dataset's diurnal
+  shape, with the *average* rate scaled to a fraction (the paper uses 75%)
+  of the cluster's peak throughput.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.sim.request import Request
+
+
+def offline_arrivals(requests: list[Request]) -> list[Request]:
+    """All requests available at time zero."""
+    return [
+        Request(r.request_id, r.input_len, r.output_len, 0.0) for r in requests
+    ]
+
+
+def poisson_arrivals(
+    requests: list[Request], rate: float, seed: int = 0
+) -> list[Request]:
+    """Homogeneous Poisson arrivals at ``rate`` requests/second."""
+    if rate <= 0:
+        raise ValueError(f"arrival rate must be positive, got {rate}")
+    rng = random.Random(seed)
+    now = 0.0
+    out = []
+    for request in requests:
+        now += rng.expovariate(rate)
+        out.append(Request(request.request_id, request.input_len, request.output_len, now))
+    return out
+
+
+def diurnal_arrivals(
+    requests: list[Request],
+    mean_rate: float,
+    seed: int = 0,
+    period: float = 1800.0,
+    amplitude: float = 0.35,
+) -> list[Request]:
+    """Non-homogeneous Poisson arrivals with a sinusoidal rate.
+
+    The instantaneous rate is
+    ``mean_rate * (1 + amplitude * sin(2*pi*t/period))`` — a smooth
+    approximation of the Azure arrival-rate curve in Fig. 5b — sampled by
+    thinning.
+
+    Args:
+        requests: Requests to stamp, in order.
+        mean_rate: Average arrivals per second.
+        seed: RNG seed.
+        period: Seconds per diurnal cycle (scaled down like everything
+            else in the simulated runs).
+        amplitude: Relative swing of the rate around its mean (< 1).
+    """
+    if mean_rate <= 0:
+        raise ValueError(f"mean_rate must be positive, got {mean_rate}")
+    if not 0.0 <= amplitude < 1.0:
+        raise ValueError(f"amplitude must be in [0, 1), got {amplitude}")
+    rng = random.Random(seed)
+    rate_max = mean_rate * (1.0 + amplitude)
+    now = 0.0
+    out = []
+    for request in requests:
+        # Thinning: propose at rate_max, accept with rate(t)/rate_max.
+        while True:
+            now += rng.expovariate(rate_max)
+            rate_now = mean_rate * (
+                1.0 + amplitude * math.sin(2.0 * math.pi * now / period)
+            )
+            if rng.random() <= rate_now / rate_max:
+                break
+        out.append(Request(request.request_id, request.input_len, request.output_len, now))
+    return out
+
+
+def rate_for_utilization(
+    peak_token_throughput: float,
+    requests: list[Request],
+    utilization: float = 0.75,
+) -> float:
+    """Requests/second that loads the cluster to ``utilization``.
+
+    The paper scales the online average arrival rate to 75% of the
+    cluster's peak throughput. Peak throughput is a token rate (the
+    placement's max flow); each request consumes ``input + output`` tokens
+    of that capacity.
+    """
+    if peak_token_throughput <= 0:
+        raise ValueError("peak throughput must be positive")
+    if not 0.0 < utilization <= 1.0:
+        raise ValueError(f"utilization must be in (0, 1], got {utilization}")
+    mean_tokens = sum(r.total_tokens for r in requests) / len(requests)
+    return utilization * peak_token_throughput / mean_tokens

@@ -1,0 +1,105 @@
+"""Synthetic Azure-Conversation-like trace (paper §6.2, Fig. 5a).
+
+The published statistics of the pruned dataset: 16657 requests, mean input
+length 763 (capped at 2048), mean output length 232 (capped at 1024), with
+right-skewed marginals. Log-normal distributions with the parameters below
+land within a few percent of those means after capping, and reproduce the
+qualitative histogram shape of Fig. 5a.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.sim.request import Request
+
+#: Published statistics of the pruned Azure Conversation dataset.
+AZURE_NUM_REQUESTS = 16657
+AZURE_MEAN_INPUT = 763
+AZURE_MEAN_OUTPUT = 232
+AZURE_MAX_INPUT = 2048
+AZURE_MAX_OUTPUT = 1024
+
+
+@dataclass(frozen=True)
+class AzureTraceConfig:
+    """Parameters of the synthetic trace.
+
+    Attributes:
+        num_requests: Trace size.
+        seed: RNG seed.
+        scale: Multiplier on request lengths. Benchmarks use fractional
+            scales to keep Python-simulator runtimes manageable; scaling
+            both input and output preserves the prompt/decode token ratio
+            that drives every relative comparison.
+        input_sigma / output_sigma: Log-normal shape parameters.
+    """
+
+    num_requests: int = 1000
+    seed: int = 0
+    scale: float = 1.0
+    input_sigma: float = 0.9
+    output_sigma: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.num_requests < 1:
+            raise ValueError("num_requests must be >= 1")
+        if not 0.0 < self.scale <= 1.0:
+            raise ValueError(f"scale must be in (0, 1], got {self.scale}")
+
+
+def _lognormal_mu(target_mean: float, sigma: float) -> float:
+    """``mu`` such that an (uncapped) log-normal has the target mean."""
+    return math.log(target_mean) - sigma**2 / 2.0
+
+
+def synthesize_azure_trace(config: AzureTraceConfig | None = None) -> list[Request]:
+    """Generate the synthetic trace with all arrivals at time zero.
+
+    Arrival times are assigned separately (:mod:`repro.trace.arrival`) so
+    the same length sample serves both offline and online settings, exactly
+    as the paper reuses one dataset with two arrival processes.
+    """
+    config = config or AzureTraceConfig()
+    rng = random.Random(config.seed)
+    # Pre-cap targets are inflated so the *post-cap* means match the
+    # published 763 / 232 (capping at 2048 / 1024 trims the right tail).
+    input_mu = _lognormal_mu(AZURE_MEAN_INPUT * 1.145, config.input_sigma)
+    output_mu = _lognormal_mu(AZURE_MEAN_OUTPUT * 1.055, config.output_sigma)
+    max_input = max(1, int(AZURE_MAX_INPUT * config.scale))
+    max_output = max(1, int(AZURE_MAX_OUTPUT * config.scale))
+
+    requests = []
+    for index in range(config.num_requests):
+        input_len = int(rng.lognormvariate(input_mu, config.input_sigma) * config.scale)
+        output_len = int(
+            rng.lognormvariate(output_mu, config.output_sigma) * config.scale
+        )
+        input_len = min(max(input_len, 1), max_input)
+        output_len = min(max(output_len, 1), max_output)
+        requests.append(
+            Request(
+                request_id=f"azure-{index}",
+                input_len=input_len,
+                output_len=output_len,
+                arrival_time=0.0,
+            )
+        )
+    return requests
+
+
+def trace_statistics(requests: list[Request]) -> dict[str, float]:
+    """Summary statistics for Fig. 5a-style reporting."""
+    inputs = [r.input_len for r in requests]
+    outputs = [r.output_len for r in requests]
+    return {
+        "num_requests": len(requests),
+        "mean_input": sum(inputs) / len(inputs),
+        "mean_output": sum(outputs) / len(outputs),
+        "max_input": max(inputs),
+        "max_output": max(outputs),
+        "p50_input": sorted(inputs)[len(inputs) // 2],
+        "p50_output": sorted(outputs)[len(outputs) // 2],
+    }

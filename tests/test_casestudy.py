@@ -1,0 +1,84 @@
+"""Tests for the Fig. 9b / Fig. 10b case-study reports."""
+
+import pytest
+
+from repro.bench.casestudy import (
+    congestion_report,
+    format_utilization,
+    utilization_report,
+)
+from repro.core.placement_types import ModelPlacement
+from repro.flow.graph import FlowGraph
+from repro.scheduling import HelixScheduler
+from repro.sim import Request, Simulation
+
+
+def run_simulation(cluster, model, placement, num_requests=50):
+    flow = FlowGraph(cluster, model, placement).solve()
+    scheduler = HelixScheduler(cluster, model, placement, flow=flow)
+    sim = Simulation(
+        cluster, model, placement, scheduler,
+        [Request(f"r{i}", 64, 5) for i in range(num_requests)],
+    )
+    sim.run()
+    return sim
+
+
+class TestUtilizationReport:
+    def test_reports_all_used_nodes(self, small_cluster, tiny_model):
+        placement = ModelPlacement.from_intervals(
+            8, {"a100-0": (0, 4), "t4-1": (0, 4), "l4-0": (4, 8), "t4-0": (4, 8)}
+        )
+        sim = run_simulation(small_cluster, tiny_model, placement)
+        rows = utilization_report(sim)
+        assert {r.node_id for r in rows} == set(placement.used_nodes)
+        assert all(0.0 <= r.utilization <= 1.0 for r in rows)
+        assert all(r.tokens_processed > 0 for r in rows)
+
+    def test_sorted_ascending_by_utilization(self, small_cluster, tiny_model):
+        placement = ModelPlacement.from_intervals(
+            8, {"a100-0": (0, 4), "t4-1": (0, 4), "l4-0": (4, 8), "t4-0": (4, 8)}
+        )
+        sim = run_simulation(small_cluster, tiny_model, placement)
+        utils = [r.utilization for r in utilization_report(sim)]
+        assert utils == sorted(utils)
+
+    def test_format_renders_every_node(self, small_cluster, tiny_model):
+        placement = ModelPlacement.from_intervals(
+            8, {"a100-0": (0, 8), "l4-0": (0, 8)}
+        )
+        sim = run_simulation(small_cluster, tiny_model, placement)
+        text = format_utilization(utilization_report(sim))
+        assert "a100-0" in text and "l4-0" in text
+
+
+class TestCongestionReport:
+    def test_slow_link_root_caused(self, two_region_cluster, tiny_model):
+        placement = ModelPlacement.from_intervals(
+            8, {"a100-0": (0, 4), "t4-0": (4, 8), "t4-1": (4, 8)}
+        )
+        sim = run_simulation(two_region_cluster, tiny_model, placement, 80)
+        rows = congestion_report(sim)
+        assert rows
+        top = rows[0]
+        # The congested hop originates at the region boundary; its root
+        # cause is the sending node, as in the paper's Fig. 10b analysis.
+        assert top.root_cause == top.src
+        assert top.mean_queueing_delay >= rows[-1].mean_queueing_delay
+
+    def test_min_delay_filter(self, small_cluster, tiny_model):
+        placement = ModelPlacement.from_intervals(
+            8, {"a100-0": (0, 8), "l4-0": (0, 8)}
+        )
+        sim = run_simulation(small_cluster, tiny_model, placement, 20)
+        all_rows = congestion_report(sim, min_delay=0.0)
+        filtered = congestion_report(sim, min_delay=1e9)
+        assert len(filtered) == 0
+        assert len(all_rows) >= 1
+
+    def test_top_limits_rows(self, small_cluster, tiny_model):
+        placement = ModelPlacement.from_intervals(
+            8, {"a100-0": (0, 4), "t4-1": (0, 4), "l4-0": (4, 8), "t4-0": (4, 8)}
+        )
+        sim = run_simulation(small_cluster, tiny_model, placement)
+        assert len(congestion_report(sim, top=2)) <= 2

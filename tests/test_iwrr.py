@@ -1,0 +1,83 @@
+"""Tests for interleaved weighted round-robin."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.scheduling import InterleavedWeightedRoundRobin
+
+
+class TestIWRR:
+    def test_proportions_match_weights(self):
+        iwrr = InterleavedWeightedRoundRobin({"a": 5.0, "b": 1.0, "c": 1.0})
+        picks = Counter(iwrr.select() for _ in range(700))
+        assert picks["a"] == 500 and picks["b"] == 100 and picks["c"] == 100
+
+    def test_interleaving_no_long_bursts(self):
+        # With weights 5/1/1, 'b' and 'c' appear spread out, not at the end.
+        iwrr = InterleavedWeightedRoundRobin({"a": 5.0, "b": 1.0, "c": 1.0})
+        window = [iwrr.select() for _ in range(7)]
+        assert "b" in window and "c" in window
+
+    def test_equal_weights_alternate(self):
+        iwrr = InterleavedWeightedRoundRobin({"x": 1.0, "y": 1.0})
+        seq = [iwrr.select() for _ in range(6)]
+        assert seq[0] != seq[1] and seq[2] != seq[3]
+
+    def test_zero_weight_candidates_dropped(self):
+        iwrr = InterleavedWeightedRoundRobin({"a": 1.0, "b": 0.0, "c": -2.0})
+        assert iwrr.candidates == ["a"]
+
+    def test_empty_selector_is_falsy(self):
+        iwrr = InterleavedWeightedRoundRobin({})
+        assert not iwrr
+        assert iwrr.select() is None
+
+    def test_masking_restricts_choice(self):
+        iwrr = InterleavedWeightedRoundRobin({"a": 10.0, "b": 1.0})
+        for _ in range(5):
+            assert iwrr.select(allowed=["b"]) == "b"
+
+    def test_fully_masked_returns_none(self):
+        iwrr = InterleavedWeightedRoundRobin({"a": 1.0})
+        assert iwrr.select(allowed=[]) is None
+        assert iwrr.select(allowed=["ghost"]) is None
+
+    def test_masked_candidate_recovers_share(self):
+        iwrr = InterleavedWeightedRoundRobin({"a": 1.0, "b": 1.0})
+        for _ in range(4):
+            iwrr.select(allowed=["a"])
+        picks = Counter(iwrr.select() for _ in range(20))
+        # Masked-out b was not starved into debt: both get fair share after.
+        assert picks["b"] >= 9
+
+    def test_update_weight_add_and_remove(self):
+        iwrr = InterleavedWeightedRoundRobin({"a": 1.0})
+        iwrr.update_weight("b", 3.0)
+        assert set(iwrr.candidates) == {"a", "b"}
+        iwrr.update_weight("a", 0.0)
+        assert iwrr.candidates == ["b"]
+
+    def test_float_weights(self):
+        iwrr = InterleavedWeightedRoundRobin({"a": 2.5, "b": 0.5})
+        picks = Counter(iwrr.select() for _ in range(300))
+        assert picks["a"] == 250 and picks["b"] == 50
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        weights=st.dictionaries(
+            st.sampled_from("abcdef"),
+            st.floats(min_value=0.1, max_value=20, allow_nan=False),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_long_run_frequencies_proportional(self, weights):
+        iwrr = InterleavedWeightedRoundRobin(weights)
+        rounds = 2000
+        picks = Counter(iwrr.select() for _ in range(rounds))
+        total = sum(weights.values())
+        for candidate, weight in weights.items():
+            expected = rounds * weight / total
+            assert abs(picks[candidate] - expected) <= max(2.0, 0.02 * rounds)

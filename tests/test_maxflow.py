@@ -1,0 +1,174 @@
+"""Tests for the Dinic max-flow implementation, incl. networkx cross-check."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.flow.maxflow import FlowNetwork
+
+
+def build_pair(edges):
+    """Build our network and a networkx digraph from (u, v, cap) triples."""
+    net = FlowNetwork()
+    graph = nx.DiGraph()
+    for u, v, cap in edges:
+        net.add_edge(u, v, cap)
+        if graph.has_edge(u, v):
+            graph[u][v]["capacity"] += cap
+        else:
+            graph.add_edge(u, v, capacity=cap)
+    return net, graph
+
+
+class TestBasics:
+    def test_single_edge(self):
+        net = FlowNetwork()
+        net.add_edge("s", "t", 7.5)
+        assert net.max_flow("s", "t").value == pytest.approx(7.5)
+
+    def test_series_bottleneck(self):
+        net, _ = build_pair([("s", "a", 10), ("a", "t", 3)])
+        assert net.max_flow("s", "t").value == pytest.approx(3)
+
+    def test_parallel_paths_sum(self):
+        net, _ = build_pair(
+            [("s", "a", 4), ("a", "t", 4), ("s", "b", 6), ("b", "t", 6)]
+        )
+        assert net.max_flow("s", "t").value == pytest.approx(10)
+
+    def test_parallel_edges_kept_distinct(self):
+        net = FlowNetwork()
+        e1 = net.add_edge("s", "t", 2.0)
+        e2 = net.add_edge("s", "t", 3.0)
+        result = net.max_flow("s", "t")
+        assert result.value == pytest.approx(5.0)
+        assert result.edge_flows[e1] == pytest.approx(2.0)
+        assert result.edge_flows[e2] == pytest.approx(3.0)
+
+    def test_disconnected_sink(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 5)
+        net.add_node("t")
+        assert net.max_flow("s", "t").value == 0.0
+
+    def test_zero_capacity_edge(self):
+        net = FlowNetwork()
+        net.add_edge("s", "t", 0.0)
+        assert net.max_flow("s", "t").value == 0.0
+
+    def test_classic_diamond_with_cross_edge(self):
+        net, graph = build_pair(
+            [
+                ("s", "a", 10), ("s", "b", 10), ("a", "b", 2),
+                ("a", "t", 4), ("b", "t", 9),
+            ]
+        )
+        assert net.max_flow("s", "t").value == pytest.approx(
+            nx.maximum_flow_value(graph, "s", "t")
+        )
+
+    def test_rejects_negative_capacity(self):
+        net = FlowNetwork()
+        with pytest.raises(ValueError, match="negative"):
+            net.add_edge("a", "b", -1.0)
+
+    def test_rejects_self_loop(self):
+        net = FlowNetwork()
+        with pytest.raises(ValueError, match="self-loop"):
+            net.add_edge("a", "a", 1.0)
+
+    def test_rejects_missing_endpoints(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 1.0)
+        with pytest.raises(ValueError, match="not present"):
+            net.max_flow("s", "zzz")
+
+    def test_rejects_equal_source_sink(self):
+        net = FlowNetwork()
+        net.add_edge("s", "t", 1.0)
+        with pytest.raises(ValueError, match="differ"):
+            net.max_flow("s", "s")
+
+    def test_edge_endpoints_roundtrip(self):
+        net = FlowNetwork()
+        eid = net.add_edge("x", "y", 2.5)
+        assert net.edge_endpoints(eid) == ("x", "y", 2.5)
+
+
+class TestFlowProperties:
+    def test_min_cut_separates_source_from_sink(self):
+        net, _ = build_pair([("s", "a", 5), ("a", "t", 1)])
+        result = net.max_flow("s", "t")
+        assert "s" in result.min_cut_source_side
+        assert "t" not in result.min_cut_source_side
+
+    def test_min_cut_capacity_equals_flow(self):
+        edges = [
+            ("s", "a", 3), ("s", "b", 2), ("a", "c", 3), ("b", "c", 3),
+            ("c", "t", 4),
+        ]
+        net, _ = build_pair(edges)
+        result = net.max_flow("s", "t")
+        cut = result.min_cut_source_side
+        cut_capacity = sum(
+            cap for u, v, cap in edges if u in cut and v not in cut
+        )
+        assert result.value == pytest.approx(cut_capacity)
+
+    def test_conservation_at_internal_nodes(self):
+        edges = [
+            ("s", "a", 4), ("s", "b", 3), ("a", "b", 2), ("a", "t", 2),
+            ("b", "t", 5),
+        ]
+        net, _ = build_pair(edges)
+        result = net.max_flow("s", "t")
+        flows = {}
+        for eid, flow in result.edge_flows.items():
+            u, v, _ = net.edge_endpoints(eid)
+            flows[(u, v)] = flows.get((u, v), 0.0) + flow
+        for node in ("a", "b"):
+            inflow = sum(f for (u, v), f in flows.items() if v == node)
+            outflow = sum(f for (u, v), f in flows.items() if u == node)
+            assert inflow == pytest.approx(outflow)
+
+    def test_edge_flows_within_capacity(self):
+        edges = [("s", "a", 4), ("a", "t", 2.5), ("s", "t", 1)]
+        net, _ = build_pair(edges)
+        result = net.max_flow("s", "t")
+        for eid, flow in result.edge_flows.items():
+            _, _, cap = net.edge_endpoints(eid)
+            assert -1e-9 <= flow <= cap + 1e-9
+
+
+@st.composite
+def random_graph(draw):
+    n = draw(st.integers(min_value=3, max_value=10))
+    names = [f"v{i}" for i in range(n)]
+    num_edges = draw(st.integers(min_value=2, max_value=4 * n))
+    edges = []
+    for _ in range(num_edges):
+        u = draw(st.sampled_from(names))
+        v = draw(st.sampled_from(names))
+        if u == v:
+            continue
+        cap = draw(st.floats(min_value=0.1, max_value=50, allow_nan=False))
+        edges.append((u, v, cap))
+    return names, edges
+
+
+class TestAgainstNetworkx:
+    @settings(max_examples=60, deadline=None)
+    @given(data=random_graph())
+    def test_value_matches_networkx(self, data):
+        names, edges = data
+        if not edges:
+            return
+        net, graph = build_pair(edges)
+        s, t = names[0], names[-1]
+        net.add_node(s)
+        net.add_node(t)
+        graph.add_node(s)
+        graph.add_node(t)
+        ours = net.max_flow(s, t).value
+        theirs = nx.maximum_flow_value(graph, s, t)
+        assert ours == pytest.approx(theirs, rel=1e-6, abs=1e-6)

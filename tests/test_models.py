@@ -1,0 +1,159 @@
+"""Tests for model specs and the memory accounting behind Table 1."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.units import GB
+from repro.models.memory import (
+    kv_token_capacity,
+    max_layers_on_vram,
+    min_gpus_required,
+    usable_weight_vram,
+    weight_bytes_total,
+)
+from repro.models.specs import (
+    GPT3_175B,
+    GROK_314B,
+    LLAMA3_405B,
+    LLAMA_30B,
+    LLAMA_70B,
+    MODEL_CATALOG,
+    ModelSpec,
+    get_model,
+)
+
+
+class TestModelSpec:
+    def test_llama70b_architecture_constants(self):
+        assert LLAMA_70B.num_layers == 80
+        assert LLAMA_70B.head_dim == 128
+        assert LLAMA_70B.kv_dim == 1024  # 8 KV heads under GQA
+
+    def test_llama70b_activation_is_16kb(self):
+        # The paper's Fig. 2 example: activation size 16 KB for LLaMA-2 70B.
+        assert LLAMA_70B.activation_bytes_per_token == 16384
+
+    def test_llama70b_kv_bytes_per_token_layer(self):
+        # K and V, each 1024 wide, FP16.
+        assert LLAMA_70B.kv_bytes_per_token_layer == 4096
+
+    def test_params_per_layer_close_to_nominal(self):
+        # Architecture-derived totals land near published counts.
+        ratio = LLAMA_70B.total_layer_params / LLAMA_70B.nominal_params
+        assert 0.9 < ratio < 1.05
+
+    def test_gpt3_uses_two_mlp_matrices(self):
+        assert GPT3_175B.mlp_matrices == 2
+        ratio = GPT3_175B.total_layer_params / GPT3_175B.nominal_params
+        assert 0.9 < ratio < 1.05
+
+    def test_grok_uses_override(self):
+        assert GROK_314B.params_per_layer == pytest.approx(314e9 / 64)
+
+    def test_flops_per_token_layer(self):
+        assert LLAMA_70B.flops_per_token_layer() == pytest.approx(
+            2.0 * LLAMA_70B.params_per_layer
+        )
+
+    def test_rejects_invalid_gqa(self):
+        with pytest.raises(ValueError, match="multiple"):
+            ModelSpec(
+                name="bad", num_layers=2, hidden_size=64, num_heads=7,
+                num_kv_heads=2, intermediate_size=128,
+            )
+
+    def test_rejects_nonpositive_layers(self):
+        with pytest.raises(ValueError, match="num_layers"):
+            ModelSpec(
+                name="bad", num_layers=0, hidden_size=64, num_heads=4,
+                num_kv_heads=4, intermediate_size=128,
+            )
+
+    def test_catalog_lookup(self):
+        assert get_model("LLaMA-70B") is LLAMA_70B
+        with pytest.raises(KeyError, match="known models"):
+            get_model("nope")
+
+    def test_catalog_names_consistent(self):
+        for name, spec in MODEL_CATALOG.items():
+            assert spec.name == name
+
+
+class TestTable1:
+    """The paper's Table 1, cell by cell."""
+
+    @pytest.mark.parametrize(
+        "model,expected",
+        [
+            (LLAMA_70B, (12, 7, 4)),
+            (GPT3_175B, (30, 18, 9)),
+            (GROK_314B, (53, 32, 16)),
+            (LLAMA3_405B, (68, 41, 21)),
+        ],
+    )
+    def test_min_gpus_match_paper(self, model, expected):
+        l4, a100, h100 = expected
+        assert min_gpus_required(model, 24 * GB) == l4
+        assert min_gpus_required(model, 40 * GB) == a100
+        assert min_gpus_required(model, 80 * GB) == h100
+
+
+class TestLayerBounds:
+    def test_case_study_layer_counts(self):
+        # Figs. 9b/10b show T4 = 4, L4 = 7, A100 = 11 layers of LLaMA-70B.
+        assert max_layers_on_vram(LLAMA_70B, 16 * GB) == 4
+        assert max_layers_on_vram(LLAMA_70B, 24 * GB) == 7
+        assert max_layers_on_vram(LLAMA_70B, 40 * GB) == 11
+
+    def test_weight_fraction_relaxation_increases_layers(self):
+        strict = max_layers_on_vram(LLAMA_70B, 16 * GB, 0.5)
+        relaxed = max_layers_on_vram(LLAMA_70B, 16 * GB, 0.9)
+        assert relaxed > strict
+
+    def test_usable_weight_vram_validates(self):
+        with pytest.raises(ValueError):
+            usable_weight_vram(16 * GB, 0.0)
+        with pytest.raises(ValueError):
+            usable_weight_vram(16 * GB, 1.5)
+
+    def test_weight_bytes_nominal_vs_architectural(self):
+        nominal = weight_bytes_total(LLAMA_70B, nominal=True)
+        arch = weight_bytes_total(LLAMA_70B, nominal=False)
+        assert nominal == pytest.approx(140e9)
+        assert arch != nominal
+
+
+class TestKVCapacity:
+    def test_zero_layers_zero_capacity(self):
+        assert kv_token_capacity(LLAMA_70B, 16 * GB, 0) == 0
+
+    def test_capacity_shrinks_with_more_layers(self):
+        few = kv_token_capacity(LLAMA_70B, 40 * GB, 4)
+        many = kv_token_capacity(LLAMA_70B, 40 * GB, 11)
+        assert few > many > 0
+
+    def test_overfull_weights_leave_no_kv(self):
+        # 10 layers of 70B (~17 GB) cannot fit on a 16 GB card at all.
+        assert kv_token_capacity(LLAMA_70B, 16 * GB, 10) == 0
+
+    @given(layers=st.integers(min_value=1, max_value=11))
+    def test_kv_plus_weights_never_exceed_vram(self, layers):
+        vram = 40 * GB
+        tokens = kv_token_capacity(LLAMA_70B, vram, layers)
+        used = (
+            layers * LLAMA_70B.layer_bytes
+            + tokens * LLAMA_70B.kv_bytes_per_token_layer * layers
+        )
+        assert used <= vram
+
+    @given(
+        vram_gb=st.integers(min_value=8, max_value=128),
+        frac=st.floats(min_value=0.3, max_value=0.9),
+    )
+    def test_max_layers_fit_in_partition(self, vram_gb, frac):
+        vram = vram_gb * GB
+        k = max_layers_on_vram(LLAMA_30B, vram, frac)
+        assert k * LLAMA_30B.layer_bytes <= vram * frac
+        assert (k + 1) * LLAMA_30B.layer_bytes > vram * frac

@@ -1,0 +1,102 @@
+"""Tests for the ModelPlacement data type."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import PlacementError
+from repro.core.placement_types import ModelPlacement, StageAssignment
+
+
+class TestStageAssignment:
+    def test_interval_properties(self):
+        stage = StageAssignment(2, 5)
+        assert stage.num_layers == 3
+        assert stage.holds(2) and stage.holds(4)
+        assert not stage.holds(5) and not stage.holds(1)
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(PlacementError):
+            StageAssignment(3, 3)
+        with pytest.raises(PlacementError):
+            StageAssignment(-1, 2)
+
+    @given(
+        a=st.integers(0, 10), b=st.integers(1, 11),
+        c=st.integers(0, 10), d=st.integers(1, 11),
+    )
+    def test_overlap_symmetry(self, a, b, c, d):
+        if a >= b or c >= d:
+            return
+        s1, s2 = StageAssignment(a, b), StageAssignment(c, d)
+        assert s1.overlaps(s2) == s2.overlaps(s1)
+        # Overlap iff some integer layer is in both.
+        expected = len(set(range(a, b)) & set(range(c, d))) > 0
+        assert s1.overlaps(s2) == expected
+
+
+class TestModelPlacement:
+    def _placement(self):
+        return ModelPlacement.from_intervals(
+            8, {"n0": (0, 3), "n1": (3, 6), "n2": (6, 8), "n3": (2, 5)}
+        )
+
+    def test_holders_and_entry_exit(self):
+        placement = self._placement()
+        assert placement.first_layer_holders() == ["n0"]
+        assert placement.last_layer_holders() == ["n2"]
+        assert set(placement.holders_of(3)) == {"n1", "n3"}
+
+    def test_coverage_counts_replicas(self):
+        placement = self._placement()
+        assert placement.coverage() == [1, 1, 2, 2, 2, 1, 1, 1]
+
+    def test_validate_ok(self):
+        self._placement().validate()
+
+    def test_validate_detects_gap(self):
+        placement = ModelPlacement.from_intervals(8, {"n0": (0, 3), "n1": (4, 8)})
+        with pytest.raises(PlacementError, match="not covered"):
+            placement.validate()
+
+    def test_validate_detects_out_of_bounds(self):
+        placement = ModelPlacement.from_intervals(8, {"n0": (0, 9)})
+        with pytest.raises(PlacementError, match="only 8"):
+            placement.validate()
+
+    def test_validate_enforces_vram_bounds(self):
+        placement = self._placement()
+        with pytest.raises(PlacementError, match="VRAM bound"):
+            placement.validate(max_layers_per_node={"n0": 2})
+
+    def test_validate_empty_placement(self):
+        placement = ModelPlacement(num_layers=4)
+        with pytest.raises(PlacementError, match="no layers"):
+            placement.validate()
+
+    def test_interval_lookup_error(self):
+        placement = self._placement()
+        with pytest.raises(PlacementError, match="holds no layers"):
+            placement.interval("ghost")
+
+    def test_describe_sorted_by_start(self):
+        text = self._placement().describe()
+        assert text.index("n0") < text.index("n3") < text.index("n1")
+
+    def test_max_pipeline_depth(self):
+        assert self._placement().max_pipeline_depth() == 4
+
+    @given(
+        intervals=st.dictionaries(
+            st.sampled_from([f"n{i}" for i in range(6)]),
+            st.tuples(st.integers(0, 7), st.integers(1, 8)).filter(
+                lambda t: t[0] < t[1]
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_coverage_matches_holders(self, intervals):
+        placement = ModelPlacement.from_intervals(8, intervals)
+        coverage = placement.coverage()
+        for layer in range(8):
+            assert coverage[layer] == len(placement.holders_of(layer))

@@ -1,0 +1,78 @@
+"""The documented public API surface stays importable and consistent."""
+
+import pytest
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "0.1.0"
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            # errors
+            "ReproError", "ClusterError", "PlacementError", "SchedulingError",
+            "SimulationError", "SolverError",
+            # models
+            "ModelSpec", "LLAMA_30B", "LLAMA_70B", "GPT3_175B", "GROK_314B",
+            "LLAMA3_405B", "get_model",
+            # cluster
+            "GPUSpec", "ComputeNode", "Link", "Cluster", "Profiler",
+            "COORDINATOR", "single_cluster_24", "geo_distributed_24",
+            "high_heterogeneity_42", "toy_cluster_fig1", "toy_cluster_fig2",
+            "small_cluster_fig12",
+            # flow
+            "FlowNetwork", "FlowGraph", "FlowSolution",
+            # placement
+            "ModelPlacement", "StageAssignment", "PlannerResult",
+            "HelixMilpPlanner", "SwarmPlanner", "PetalsPlanner",
+            "SeparatePipelinesPlanner", "prune_cluster",
+            # scheduling
+            "HelixScheduler", "SwarmScheduler", "RandomScheduler",
+            "ShortestQueueScheduler", "FixedPipelineScheduler",
+            "InterleavedWeightedRoundRobin",
+            # sim + trace + bench
+            "Simulation", "Request", "ServingMetrics", "AzureTraceConfig",
+            "synthesize_azure_trace", "offline_arrivals", "poisson_arrivals",
+            "diurnal_arrivals", "rate_for_utilization", "run_offline",
+            "run_online", "make_planner", "make_scheduler",
+        ],
+    )
+    def test_exported(self, name):
+        assert hasattr(repro, name), f"repro.{name} missing from public API"
+
+    def test_error_hierarchy(self):
+        for error in (
+            repro.ClusterError, repro.PlacementError, repro.SchedulingError,
+            repro.SimulationError, repro.SolverError,
+        ):
+            assert issubclass(error, repro.ReproError)
+
+    def test_planner_names_are_distinct(self):
+        names = {
+            repro.HelixMilpPlanner.name,
+            repro.SwarmPlanner.name,
+            repro.PetalsPlanner.name,
+            repro.SeparatePipelinesPlanner.name,
+        }
+        assert len(names) == 4
+
+    def test_scheduler_names_are_distinct(self):
+        names = {
+            repro.HelixScheduler.name,
+            repro.SwarmScheduler.name,
+            repro.RandomScheduler.name,
+            repro.ShortestQueueScheduler.name,
+            repro.FixedPipelineScheduler.name,
+        }
+        assert len(names) == 5
+
+    def test_docstrings_on_public_classes(self):
+        for cls in (
+            repro.Cluster, repro.Profiler, repro.HelixMilpPlanner,
+            repro.HelixScheduler, repro.Simulation, repro.ModelPlacement,
+            repro.FlowGraph, repro.InterleavedWeightedRoundRobin,
+        ):
+            assert cls.__doc__ and len(cls.__doc__.strip()) > 20

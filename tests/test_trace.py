@@ -1,0 +1,127 @@
+"""Tests for the synthetic Azure trace and arrival processes."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.request import Request
+from repro.trace import (
+    AzureTraceConfig,
+    diurnal_arrivals,
+    offline_arrivals,
+    poisson_arrivals,
+    rate_for_utilization,
+    synthesize_azure_trace,
+    trace_statistics,
+)
+from repro.trace.azure import AZURE_MAX_INPUT, AZURE_MAX_OUTPUT
+
+
+class TestAzureTrace:
+    def test_means_match_published_statistics(self):
+        trace = synthesize_azure_trace(AzureTraceConfig(num_requests=16657, seed=0))
+        stats = trace_statistics(trace)
+        # Published: mean input 763, mean output 232 (within 5%).
+        assert stats["mean_input"] == pytest.approx(763, rel=0.05)
+        assert stats["mean_output"] == pytest.approx(232, rel=0.05)
+
+    def test_caps_enforced(self):
+        trace = synthesize_azure_trace(AzureTraceConfig(num_requests=5000, seed=1))
+        assert max(r.input_len for r in trace) <= AZURE_MAX_INPUT
+        assert max(r.output_len for r in trace) <= AZURE_MAX_OUTPUT
+        assert min(r.input_len for r in trace) >= 1
+        assert min(r.output_len for r in trace) >= 1
+
+    def test_right_skew(self):
+        trace = synthesize_azure_trace(AzureTraceConfig(num_requests=5000, seed=2))
+        stats = trace_statistics(trace)
+        # Fig. 5a: distributions are right-skewed, so median < mean.
+        assert stats["p50_input"] < stats["mean_input"]
+        assert stats["p50_output"] < stats["mean_output"]
+
+    def test_deterministic_by_seed(self):
+        a = synthesize_azure_trace(AzureTraceConfig(num_requests=100, seed=42))
+        b = synthesize_azure_trace(AzureTraceConfig(num_requests=100, seed=42))
+        assert [(r.input_len, r.output_len) for r in a] == [
+            (r.input_len, r.output_len) for r in b
+        ]
+
+    def test_scale_shrinks_lengths(self):
+        full = synthesize_azure_trace(AzureTraceConfig(num_requests=2000, seed=3))
+        quarter = synthesize_azure_trace(
+            AzureTraceConfig(num_requests=2000, seed=3, scale=0.25)
+        )
+        full_stats = trace_statistics(full)
+        quarter_stats = trace_statistics(quarter)
+        ratio = quarter_stats["mean_input"] / full_stats["mean_input"]
+        assert 0.2 < ratio < 0.3
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            AzureTraceConfig(num_requests=0)
+        with pytest.raises(ValueError):
+            AzureTraceConfig(scale=0.0)
+        with pytest.raises(ValueError):
+            AzureTraceConfig(scale=1.5)
+
+
+class TestArrivals:
+    def _trace(self, n=50):
+        return [Request(f"r{i}", 10, 5, arrival_time=99.0) for i in range(n)]
+
+    def test_offline_resets_to_zero(self):
+        stamped = offline_arrivals(self._trace())
+        assert all(r.arrival_time == 0.0 for r in stamped)
+
+    def test_poisson_monotone_arrivals(self):
+        stamped = poisson_arrivals(self._trace(), rate=2.0, seed=0)
+        times = [r.arrival_time for r in stamped]
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+    def test_poisson_rate_approximately_respected(self):
+        stamped = poisson_arrivals(self._trace(2000), rate=4.0, seed=1)
+        duration = stamped[-1].arrival_time
+        empirical = 2000 / duration
+        assert empirical == pytest.approx(4.0, rel=0.1)
+
+    def test_poisson_invalid_rate(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(self._trace(), rate=0.0)
+
+    def test_diurnal_monotone_and_rate(self):
+        # Short period -> the trace spans many cycles, so the empirical
+        # rate averages out to the configured mean.
+        stamped = diurnal_arrivals(
+            self._trace(3000), mean_rate=5.0, seed=2, period=30.0
+        )
+        times = [r.arrival_time for r in stamped]
+        assert all(a < b for a, b in zip(times, times[1:]))
+        empirical = 3000 / times[-1]
+        assert empirical == pytest.approx(5.0, rel=0.1)
+
+    def test_diurnal_validation(self):
+        with pytest.raises(ValueError):
+            diurnal_arrivals(self._trace(), mean_rate=-1)
+        with pytest.raises(ValueError):
+            diurnal_arrivals(self._trace(), mean_rate=1, amplitude=1.5)
+
+    def test_rate_for_utilization(self):
+        requests = [Request("a", 700, 300), Request("b", 300, 700)]
+        # mean total tokens = 1000; peak 2000 tok/s at 75% -> 1.5 req/s.
+        rate = rate_for_utilization(2000.0, requests, utilization=0.75)
+        assert rate == pytest.approx(1.5)
+
+    def test_rate_for_utilization_validation(self):
+        requests = [Request("a", 10, 10)]
+        with pytest.raises(ValueError):
+            rate_for_utilization(0.0, requests)
+        with pytest.raises(ValueError):
+            rate_for_utilization(100.0, requests, utilization=0.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(rate=st.floats(min_value=0.5, max_value=50))
+    def test_poisson_preserves_request_payload(self, rate):
+        trace = self._trace(20)
+        stamped = poisson_arrivals(trace, rate=rate, seed=5)
+        assert [(r.request_id, r.input_len, r.output_len) for r in stamped] == [
+            (r.request_id, r.input_len, r.output_len) for r in trace
+        ]
