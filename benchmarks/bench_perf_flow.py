@@ -1,0 +1,65 @@
+"""Perf: flat-array max-flow kernel and incremental placement evaluation.
+
+Unlike the figure benchmarks, this module tracks *our own* performance: the
+planner evaluates thousands of candidate placements by max-flow (§4.3,
+§4.5), so the evaluate-placement loop must run at array speed. Three
+scenarios are timed and written to ``BENCH_flow.json`` at the repo root:
+
+* kernel reuse — ``set_capacity`` + re-solve on one ``FlowNetwork`` vs.
+  rebuilding the network for every solve;
+* placement evaluation (headline, target >= 5x) — one ``FlowGraph``
+  re-targeted with ``reevaluate`` across an LNS-like candidate stream vs.
+  rebuilding the graph abstraction per candidate;
+* end-to-end Helix planning with the incremental evaluator on and off
+  (MILP time dominates, so the interesting number is the flow-eval split).
+
+Run directly (``python benchmarks/bench_perf_flow.py``) or through pytest
+(``pytest benchmarks/bench_perf_flow.py``).
+"""
+
+import pytest
+
+from repro.bench.perftrack import (
+    PerfTracker,
+    bench_kernel_reuse,
+    bench_placement_evaluation,
+    bench_planner,
+)
+
+EVAL_SPEEDUP_TARGET = 5.0
+
+
+def run_full(include_planner: bool = True) -> PerfTracker:
+    """Run the full-size configuration and write ``BENCH_flow.json``."""
+    tracker = PerfTracker(label="flow-full")
+    bench_kernel_reuse(tracker)
+    bench_placement_evaluation(tracker)
+    if include_planner:
+        bench_planner(tracker)
+    tracker.write()
+    return tracker
+
+
+def summarize(tracker: PerfTracker) -> str:
+    lines = [
+        f"{t.name}: best {t.best_s * 1e3:.1f} ms over {t.repeats} laps"
+        for t in tracker.timings
+    ]
+    lines += [f"{name}: {value:.3f}" for name, value in tracker.derived.items()]
+    return "\n".join(lines)
+
+
+@pytest.mark.perf
+def test_perf_flow(report):
+    tracker = run_full()
+    report("perf_flow", summarize(tracker))
+    speedup = tracker.derived["placement_eval_speedup"]
+    assert speedup >= EVAL_SPEEDUP_TARGET, (
+        f"repeated placement evaluation only {speedup:.2f}x faster than the "
+        f"rebuild-per-candidate baseline (target {EVAL_SPEEDUP_TARGET}x)"
+    )
+    assert tracker.derived["kernel_reuse_speedup"] > 1.0
+
+
+if __name__ == "__main__":
+    print(summarize(run_full()))

@@ -24,6 +24,7 @@ its testbed.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.models.specs import ModelSpec
 from repro.models.memory import kv_token_capacity, max_layers_on_vram
@@ -92,7 +93,7 @@ class Profiler:
     # ------------------------------------------------------------------
     def max_layers(self, node: ComputeNode, model: ModelSpec) -> int:
         """Maximum layers the node can hold in its weight partition."""
-        return max_layers_on_vram(model, node.vram_bytes, self.weight_fraction)
+        return _cached_max_layers(self, node, model)
 
     def compute_rate(self, node: ComputeNode, model: ModelSpec) -> float:
         """Compute rate in token-layers/second (``R_c``)."""
@@ -135,9 +136,7 @@ class Profiler:
         """
         if num_layers < 1:
             raise ValueError(f"num_layers must be >= 1, got {num_layers}")
-        batch = float(self.reference_batch)
-        time = self.batch_time(node, model, batch * num_layers, num_layers)
-        return batch / time
+        return _cached_throughput(self, node, model, num_layers)
 
     def node_profile(self, node: ComputeNode, model: ModelSpec) -> NodeProfile:
         """Profile a node: max layers and the full ``T_j`` table."""
@@ -176,8 +175,35 @@ class Profiler:
         Coordinator links move 4-byte token ids; compute-to-compute links
         move ``hidden_size * dtype`` activations (paper Fig. 2).
         """
-        if carries_activations:
-            per_token = model.activation_bytes_per_token
-        else:
-            per_token = float(model.token_bytes)
-        return link.bandwidth / per_token
+        return _cached_link_token_capacity(self, link, model, carries_activations)
+
+
+# ----------------------------------------------------------------------
+# Memoized kernels. Profiler, ComputeNode, Link, and ModelSpec are all
+# frozen (hashable) dataclasses, so identical lookups — which the planners
+# issue thousands of times while evaluating candidate placements — hit the
+# cache instead of re-deriving the same timing-model constants.
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=None)
+def _cached_max_layers(profiler: Profiler, node: ComputeNode, model: ModelSpec) -> int:
+    return max_layers_on_vram(model, node.vram_bytes, profiler.weight_fraction)
+
+
+@lru_cache(maxsize=None)
+def _cached_throughput(
+    profiler: Profiler, node: ComputeNode, model: ModelSpec, num_layers: int
+) -> float:
+    batch = float(profiler.reference_batch)
+    time = profiler.batch_time(node, model, batch * num_layers, num_layers)
+    return batch / time
+
+
+@lru_cache(maxsize=None)
+def _cached_link_token_capacity(
+    profiler: Profiler, link: Link, model: ModelSpec, carries_activations: bool
+) -> float:
+    if carries_activations:
+        per_token = model.activation_bytes_per_token
+    else:
+        per_token = float(model.token_bytes)
+    return link.bandwidth / per_token

@@ -17,6 +17,23 @@ A connection is *valid* (paper's three criteria) when:
 
 The max flow of the resulting graph is the placement's maximum serving
 throughput in tokens/second.
+
+Because the planner evaluates thousands of candidate placements on the same
+cluster (§4.5's warm starts, incumbent checks, and our LNS loop), a
+:class:`FlowGraph` is built *once* per cluster and re-targeted cheaply:
+
+* The flow network contains every node edge and every physical link as a
+  permanent edge; placement only decides each edge's capacity (zero for
+  invalid connections and unused nodes). The underlying flat-array kernel
+  skips zero-capacity edges entirely, so solves stay as fast as on a graph
+  containing only the valid edges.
+* Profiler lookups (``T_j`` per stage size, link token capacities) are
+  computed once and cached.
+* :meth:`FlowGraph.reevaluate` diffs the new placement against the current
+  one and rewrites capacities only for node edges whose interval changed
+  and link edges incident to a changed node — no vertex, edge, or registry
+  reconstruction. Re-evaluating an unchanged placement returns the cached
+  solution without re-solving.
 """
 
 from __future__ import annotations
@@ -107,7 +124,7 @@ class FlowSolution:
 
 
 class FlowGraph:
-    """Builds and solves the paper's graph abstraction.
+    """Builds and solves the paper's graph abstraction, reusably.
 
     Args:
         cluster: The serving cluster.
@@ -132,34 +149,34 @@ class FlowGraph:
         self.profiler = profiler or Profiler()
         self.partial_inference = partial_inference
         self._network = FlowNetwork()
-        self._edge_registry: dict[int, tuple[str, str, str]] = {}
+        # Static structure, built once per cluster.
+        self._node_edge_ids: dict[str, int] = {}
+        self._link_edge_ids: dict[tuple[str, str], int] = {}
+        self._link_caps: dict[tuple[str, str], float] = {}
+        self._links_by_node: dict[str, list[tuple[str, str]]] = {}
+        # Placement-dependent state, updated incrementally.
+        self._intervals: dict[str, tuple[int, int] | None] = {}
+        self._link_valid: dict[tuple[str, str], bool] = {}
         self._node_capacities: dict[str, float] = {}
         self._connection_capacities: dict[tuple[str, str], float] = {}
-        self._build()
+        self._solution: FlowSolution | None = None
+        self._build_network()
+        self._apply_placement(placement)
 
     # ------------------------------------------------------------------
-    def _build(self) -> None:
-        placement = self.placement
-        if not placement.first_layer_holders():
-            raise PlacementError("no node holds the first layer")
-        if not placement.last_layer_holders():
-            raise PlacementError("no node holds the last layer")
-
+    def _build_network(self) -> None:
+        """Create every vertex and edge once; capacities start at zero."""
         net = self._network
         net.add_node(SOURCE)
         net.add_node(SINK)
 
-        for node_id in placement.used_nodes:
-            node = self.cluster.node(node_id)
-            stage = placement.interval(node_id)
-            capacity = self.profiler.throughput(node, self.model, stage.num_layers)
-            self._node_capacities[node_id] = capacity
-            edge_id = net.add_edge(_in_vertex(node_id), _out_vertex(node_id), capacity)
-            self._edge_registry[edge_id] = ("node", node_id, node_id)
+        for node_id in self.cluster.node_ids:
+            edge_id = net.add_edge(_in_vertex(node_id), _out_vertex(node_id), 0.0)
+            self._node_edge_ids[node_id] = edge_id
+            self._intervals[node_id] = None
+            self._links_by_node[node_id] = []
 
         for (src, dst), link in self.cluster.links.items():
-            if not connection_is_valid(placement, src, dst, self.partial_inference):
-                continue
             carries_activations = src != COORDINATOR and dst != COORDINATOR
             capacity = self.profiler.link_token_capacity(
                 link, self.model, carries_activations
@@ -170,9 +187,77 @@ class FlowGraph:
                 u, v = _out_vertex(src), SINK
             else:
                 u, v = _out_vertex(src), _in_vertex(dst)
-            edge_id = net.add_edge(u, v, capacity)
-            self._edge_registry[edge_id] = ("connection", src, dst)
-            self._connection_capacities[(src, dst)] = capacity
+            key = (src, dst)
+            self._link_edge_ids[key] = net.add_edge(u, v, 0.0)
+            self._link_caps[key] = capacity
+            self._link_valid[key] = False
+            for endpoint in (src, dst):
+                if endpoint != COORDINATOR:
+                    self._links_by_node[endpoint].append(key)
+
+    def _apply_placement(self, placement: ModelPlacement) -> None:
+        """Point the network at ``placement``, rewriting only changed edges."""
+        if not placement.first_layer_holders():
+            raise PlacementError("no node holds the first layer")
+        if not placement.last_layer_holders():
+            raise PlacementError("no node holds the last layer")
+        for node_id in placement.assignments:
+            if node_id not in self._node_edge_ids:
+                self.cluster.node(node_id)  # raises ClusterError
+
+        net = self._network
+        assignments = placement.assignments
+        changed: list[str] = []
+        for node_id, previous in self._intervals.items():
+            stage = assignments.get(node_id)
+            current = (stage.start, stage.end) if stage is not None else None
+            if current == previous:
+                continue
+            changed.append(node_id)
+            self._intervals[node_id] = current
+            if current is None:
+                capacity = 0.0
+                self._node_capacities.pop(node_id, None)
+            else:
+                capacity = self.profiler.throughput(
+                    self.cluster.node(node_id), self.model, stage.num_layers
+                )
+                self._node_capacities[node_id] = capacity
+            net.set_capacity(self._node_edge_ids[node_id], capacity)
+
+        # Sink-side validity compares interval ends against num_layers, so a
+        # different model length invalidates every link, not just those at
+        # changed nodes.
+        if placement.num_layers != self.placement.num_layers:
+            recheck = list(self._link_valid)
+        else:
+            seen: set[tuple[str, str]] = set()
+            recheck = []
+            for node_id in changed:
+                for key in self._links_by_node[node_id]:
+                    if key not in seen:
+                        seen.add(key)
+                        recheck.append(key)
+
+        flipped = False
+        partial = self.partial_inference
+        for key in recheck:
+            valid = connection_is_valid(placement, key[0], key[1], partial)
+            if valid == self._link_valid[key]:
+                continue
+            flipped = True
+            self._link_valid[key] = valid
+            if valid:
+                capacity = self._link_caps[key]
+                self._connection_capacities[key] = capacity
+            else:
+                capacity = 0.0
+                self._connection_capacities.pop(key, None)
+            net.set_capacity(self._link_edge_ids[key], capacity)
+
+        if changed or flipped:
+            self._solution = None
+        self.placement = placement
 
     # ------------------------------------------------------------------
     @property
@@ -185,24 +270,45 @@ class FlowGraph:
         return list(self._connection_capacities)
 
     def solve(self) -> FlowSolution:
-        """Run push-relabel and aggregate per-connection and per-node flow."""
+        """Solve the max flow and aggregate per-connection and per-node flow.
+
+        The solution is cached until the placement changes, so repeated
+        value queries on the same placement (common in the planner's
+        incumbent checks) cost a dict lookup.
+        """
+        if self._solution is not None:
+            return self._solution
         result = self._network.max_flow(SOURCE, SINK)
-        connection_flows: dict[tuple[str, str], float] = {}
-        node_flows: dict[str, float] = {}
-        for edge_id, flow in result.edge_flows.items():
-            kind, src, dst = self._edge_registry[edge_id]
-            if kind == "node":
-                node_flows[src] = node_flows.get(src, 0.0) + flow
-            else:
-                key = (src, dst)
-                connection_flows[key] = connection_flows.get(key, 0.0) + flow
-        return FlowSolution(
+        edge_flows = result.edge_flows
+        node_flows = {
+            node_id: edge_flows[edge_id]
+            for node_id, edge_id in self._node_edge_ids.items()
+            if node_id in self._node_capacities
+        }
+        connection_flows = {
+            key: edge_flows[self._link_edge_ids[key]]
+            for key in self._connection_capacities
+        }
+        self._solution = FlowSolution(
             max_flow=result.value,
             connection_flows=connection_flows,
             node_flows=node_flows,
             node_capacities=dict(self._node_capacities),
             connection_capacities=dict(self._connection_capacities),
         )
+        return self._solution
+
+    def reevaluate(self, placement: ModelPlacement) -> FlowSolution:
+        """Re-solve for a new placement without rebuilding the graph.
+
+        Only capacities of edges whose validity or stage size changed are
+        rewritten; everything else — vertices, edges, profiler lookups,
+        registries — is reused. Raises :class:`PlacementError` (leaving the
+        evaluator pointed at the previous placement) when the new placement
+        cannot serve at all.
+        """
+        self._apply_placement(placement)
+        return self.solve()
 
 
 def placement_max_flow(

@@ -1,13 +1,33 @@
-"""Maximum flow on the cluster graph abstraction.
+"""Flat-array maximum-flow kernel for the cluster graph abstraction.
 
 The paper computes a placement's serving throughput by running a max-flow
 algorithm (preflow-push in their implementation, §4.3) on the cluster's
 graph abstraction. The optimum is algorithm-independent; we use Dinic's
 blocking-flow algorithm because it terminates with a genuine *flow* (not a
 preflow), which the scheduler needs intact for deriving IWRR weights from
-per-edge flows (§5.1). On cluster-sized graphs (tens of vertices, hundreds
-of edges) it solves in microseconds. Results are cross-checked against
-networkx's preflow-push in the test suite.
+per-edge flows (§5.1). Results are cross-checked against networkx's
+preflow-push in the test suite.
+
+Because the planner evaluates thousands of candidate placements, the kernel
+is built for *reuse*, not one-shot solves:
+
+* Arcs live in parallel flat arrays (``_arc_to`` / ``_arc_cap`` /
+  ``_arc_flow``) rather than per-arc objects. Arc ``2*i`` is edge ``i``'s
+  forward arc and arc ``2*i + 1`` its residual twin, so the reverse of arc
+  ``a`` is always ``a ^ 1``.
+* Adjacency is a CSR index (``_csr_start`` / ``_csr_arcs``) over the
+  *active* arcs — those whose edge currently has positive capacity — and is
+  rebuilt lazily only when the active set changes. Zero-capacity edges
+  (e.g. connections invalidated by the current placement) cost nothing
+  during a solve.
+* The blocking-flow search is iterative (advance/retreat with an explicit
+  path stack), so chain networks thousands of vertices deep solve without
+  touching Python's recursion limit.
+* :meth:`FlowNetwork.set_capacity` retunes an edge in O(1) and
+  :meth:`FlowNetwork.max_flow` may be called repeatedly on the same
+  network; each call resets flows and solves the current capacities. The
+  epsilon scale (largest original capacity) is maintained incrementally on
+  ``add_edge``/``set_capacity`` instead of being rescanned per solve.
 
 Capacities are floats (tokens/second); a relative epsilon guards
 comparisons. Parallel edges are supported and reported separately.
@@ -18,22 +38,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 EPSILON = 1e-9
-
-
-@dataclass
-class _Edge:
-    """Internal adjacency-list arc. ``rev`` indexes the reverse arc."""
-
-    to: int
-    capacity: float
-    flow: float
-    rev: int
-    original: bool  # True for caller-added arcs, False for residual twins.
-    edge_id: int  # Caller-visible id for original arcs, -1 otherwise.
-
-    @property
-    def residual(self) -> float:
-        return self.capacity - self.flow
 
 
 @dataclass(frozen=True)
@@ -54,25 +58,38 @@ class MaxFlowResult:
 
 
 class FlowNetwork:
-    """A directed flow network over named vertices.
+    """A directed flow network over named vertices, solvable repeatedly.
 
     Example:
         >>> net = FlowNetwork()
-        >>> _ = net.add_edge("s", "a", 5.0)
+        >>> eid = net.add_edge("s", "a", 5.0)
         >>> _ = net.add_edge("a", "t", 3.0)
         >>> net.max_flow("s", "t").value
         3.0
+        >>> net.set_capacity(eid, 1.0)
+        >>> net.max_flow("s", "t").value
+        1.0
     """
 
     def __init__(self) -> None:
         self._index: dict[str, int] = {}
         self._names: list[str] = []
-        self._adj: list[list[_Edge]] = []
-        self._edge_meta: list[tuple[str, str, float]] = []  # id -> (u, v, cap)
-        self._edge_pos: list[tuple[int, int]] = []  # id -> (vertex, adj slot)
+        # Parallel arc arrays; arc 2i is edge i's forward arc, 2i+1 its
+        # residual twin (rev(a) == a ^ 1; tail(a) == _arc_to[a ^ 1]).
+        self._arc_to: list[int] = []
+        self._arc_cap: list[float] = []
+        self._arc_flow: list[float] = []
+        # CSR adjacency over active arcs, rebuilt lazily.
+        self._csr_start: list[int] = []
+        self._csr_arcs: list[int] = []
+        self._csr_dirty = True
+        # Largest original capacity, maintained incrementally; goes stale
+        # (dirty) only when the current maximum is lowered.
+        self._max_cap = 0.0
+        self._max_cap_dirty = False
 
     # ------------------------------------------------------------------
-    # Construction
+    # Construction and reuse
     # ------------------------------------------------------------------
     def add_node(self, name: str) -> int:
         """Ensure a vertex exists; returns its internal index."""
@@ -81,7 +98,7 @@ class FlowNetwork:
         idx = len(self._names)
         self._index[name] = idx
         self._names.append(name)
-        self._adj.append([])
+        self._csr_dirty = True
         return idx
 
     def add_edge(self, src: str, dst: str, capacity: float) -> int:
@@ -95,20 +112,43 @@ class FlowNetwork:
             raise ValueError(f"self-loop on {src!r}")
         u = self.add_node(src)
         v = self.add_node(dst)
-        edge_id = len(self._edge_meta)
-        forward = _Edge(
-            to=v, capacity=capacity, flow=0.0, rev=len(self._adj[v]),
-            original=True, edge_id=edge_id,
-        )
-        backward = _Edge(
-            to=u, capacity=0.0, flow=0.0, rev=len(self._adj[u]),
-            original=False, edge_id=-1,
-        )
-        self._adj[u].append(forward)
-        self._adj[v].append(backward)
-        self._edge_meta.append((src, dst, capacity))
-        self._edge_pos.append((u, len(self._adj[u]) - 1))
+        edge_id = len(self._arc_to) // 2
+        self._arc_to.extend((v, u))
+        self._arc_cap.extend((capacity, 0.0))
+        self._arc_flow.extend((0.0, 0.0))
+        if capacity > self._max_cap:
+            self._max_cap = capacity
+        self._csr_dirty = True
         return edge_id
+
+    def set_capacity(self, edge_id: int, capacity: float) -> None:
+        """Retune a caller-added edge's capacity in place.
+
+        The next :meth:`max_flow` call solves with the new capacities; no
+        rebuild is needed. Setting a capacity to zero removes the edge from
+        the active adjacency, so it costs nothing during solves.
+        """
+        if capacity < 0:
+            raise ValueError(f"negative capacity on edge {edge_id}")
+        arc = 2 * edge_id
+        if not 0 <= arc < len(self._arc_to):
+            raise ValueError(f"unknown edge id {edge_id}")
+        old = self._arc_cap[arc]
+        if old == capacity:
+            return
+        self._arc_cap[arc] = capacity
+        if (old > 0.0) != (capacity > 0.0):
+            self._csr_dirty = True
+        if capacity >= self._max_cap:
+            self._max_cap = capacity
+            self._max_cap_dirty = False
+        elif old >= self._max_cap:
+            # The former maximum shrank; recompute lazily at the next solve.
+            self._max_cap_dirty = True
+
+    def reset_flow(self) -> None:
+        """Zero all arc flows (done automatically by :meth:`max_flow`)."""
+        self._arc_flow = [0.0] * len(self._arc_flow)
 
     @property
     def num_nodes(self) -> int:
@@ -116,41 +156,87 @@ class FlowNetwork:
 
     @property
     def num_edges(self) -> int:
-        return len(self._edge_meta)
+        return len(self._arc_to) // 2
 
     def node_names(self) -> list[str]:
         """All vertex names in insertion order."""
         return list(self._names)
 
     def edge_endpoints(self, edge_id: int) -> tuple[str, str, float]:
-        """``(src, dst, capacity)`` of a caller-added edge."""
-        return self._edge_meta[edge_id]
+        """``(src, dst, capacity)`` of a caller-added edge (current values)."""
+        arc = 2 * edge_id
+        if not 0 <= arc < len(self._arc_to):
+            raise ValueError(f"unknown edge id {edge_id}")
+        return (
+            self._names[self._arc_to[arc ^ 1]],
+            self._names[self._arc_to[arc]],
+            self._arc_cap[arc],
+        )
 
     # ------------------------------------------------------------------
-    # Max flow (Dinic's blocking-flow algorithm)
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _ensure_csr(self) -> None:
+        """Rebuild the active-arc CSR adjacency if it is stale."""
+        if not self._csr_dirty:
+            return
+        n = len(self._names)
+        arc_to = self._arc_to
+        arc_cap = self._arc_cap
+        buckets: list[list[int]] = [[] for _ in range(n)]
+        for arc in range(0, len(arc_to), 2):
+            if arc_cap[arc] > 0.0:
+                buckets[arc_to[arc ^ 1]].append(arc)
+                buckets[arc_to[arc]].append(arc ^ 1)
+        start = [0] * (n + 1)
+        arcs: list[int] = []
+        for u in range(n):
+            arcs.extend(buckets[u])
+            start[u + 1] = len(arcs)
+        self._csr_start = start
+        self._csr_arcs = arcs
+        self._csr_dirty = False
+
+    def _epsilon(self) -> float:
+        """Solve epsilon, scaled to the largest original capacity."""
+        if self._max_cap_dirty:
+            caps = self._arc_cap
+            self._max_cap = max(caps[0::2], default=0.0)
+            self._max_cap_dirty = False
+        return EPSILON * max(self._max_cap, 1.0)
+
+    # ------------------------------------------------------------------
+    # Max flow (Dinic's blocking-flow algorithm, iterative)
     # ------------------------------------------------------------------
     def max_flow(self, source: str, sink: str) -> MaxFlowResult:
-        """Compute max flow from ``source`` to ``sink``."""
+        """Compute max flow from ``source`` to ``sink``.
+
+        Flows are reset first, so repeated calls — with capacities retuned
+        via :meth:`set_capacity` in between — behave exactly like solving a
+        freshly built network.
+        """
         if source not in self._index or sink not in self._index:
             raise ValueError("source or sink vertex not present in the network")
         if source == sink:
             raise ValueError("source and sink must differ")
         s = self._index[source]
         t = self._index[sink]
-        n = self.num_nodes
+        self.reset_flow()
+        self._ensure_csr()
+        eps = self._epsilon()
 
-        scale = max(
-            (e.capacity for adj in self._adj for e in adj if e.original),
-            default=1.0,
-        )
-        eps = EPSILON * max(scale, 1.0)
+        n = len(self._names)
+        arc_to = self._arc_to
+        arc_cap = self._arc_cap
+        arc_flow = self._arc_flow
+        csr_start = self._csr_start
+        csr_arcs = self._csr_arcs
 
         total = 0.0
-        level = [0] * n
-        iter_state = [0] * n
+        level = [-1] * n
 
-        def bfs() -> bool:
-            """Build the level graph; returns whether the sink is reachable."""
+        while True:
+            # --- BFS: build the level graph over active residual arcs.
             for i in range(n):
                 level[i] = -1
             level[s] = 0
@@ -159,54 +245,87 @@ class FlowNetwork:
             while head < len(queue):
                 u = queue[head]
                 head += 1
-                for edge in self._adj[u]:
-                    if edge.residual > eps and level[edge.to] < 0:
-                        level[edge.to] = level[u] + 1
-                        queue.append(edge.to)
-            return level[t] >= 0
+                lvl = level[u] + 1
+                for k in range(csr_start[u], csr_start[u + 1]):
+                    a = csr_arcs[k]
+                    v = arc_to[a]
+                    if level[v] < 0 and arc_cap[a] - arc_flow[a] > eps:
+                        level[v] = lvl
+                        queue.append(v)
+            if level[t] < 0:
+                break
 
-        def dfs(u: int, limit: float) -> float:
-            """Send up to ``limit`` along admissible paths from ``u``."""
-            if u == t:
-                return limit
-            while iter_state[u] < len(self._adj[u]):
-                edge = self._adj[u][iter_state[u]]
-                if edge.residual > eps and level[edge.to] == level[u] + 1:
-                    sent = dfs(edge.to, min(limit, edge.residual))
-                    if sent > eps:
-                        edge.flow += sent
-                        self._adj[edge.to][edge.rev].flow -= sent
-                        return sent
-                iter_state[u] += 1
-            return 0.0
-
-        while bfs():
-            for i in range(n):
-                iter_state[i] = 0
+            # --- Blocking flow: iterative advance/retreat along the level
+            # graph, augmenting whenever the sink is reached.
+            it = csr_start[:-1].copy()
+            path: list[int] = []
+            u = s
             while True:
-                sent = dfs(s, float("inf"))
-                if sent <= eps:
+                if u == t:
+                    push = min(arc_cap[a] - arc_flow[a] for a in path)
+                    total += push
+                    cut = 0
+                    for i, a in enumerate(path):
+                        arc_flow[a] += push
+                        arc_flow[a ^ 1] -= push
+                        if cut == 0 and arc_cap[a] - arc_flow[a] <= eps:
+                            cut = i + 1
+                    # Retreat to the tail of the first saturated arc.
+                    first = path[cut - 1]
+                    del path[cut - 1 :]
+                    u = arc_to[first ^ 1]
+                    continue
+                advanced = False
+                pos = it[u]
+                end = csr_start[u + 1]
+                while pos < end:
+                    a = csr_arcs[pos]
+                    v = arc_to[a]
+                    if level[v] == level[u] + 1 and arc_cap[a] - arc_flow[a] > eps:
+                        it[u] = pos
+                        path.append(a)
+                        u = v
+                        advanced = True
+                        break
+                    pos += 1
+                if advanced:
+                    continue
+                it[u] = pos
+                if u == s:
                     break
-                total += sent
+                # Dead end: prune the vertex and back out of the last arc.
+                level[u] = -1
+                a = path.pop()
+                u = arc_to[a ^ 1]
+                it[u] += 1
 
         edge_flows = {}
-        for edge_id, (u, slot) in enumerate(self._edge_pos):
-            edge_flows[edge_id] = max(0.0, self._adj[u][slot].flow)
-
-        cut = self._residual_reachable(s, eps)
-        cut_names = frozenset(self._names[v] for v in cut)
+        for edge_id in range(len(arc_to) // 2):
+            flow = arc_flow[2 * edge_id]
+            edge_flows[edge_id] = flow if flow > 0.0 else 0.0
+        cut_names = frozenset(
+            self._names[v] for v in self._residual_reachable(s, eps)
+        )
         return MaxFlowResult(
             value=total, edge_flows=edge_flows, min_cut_source_side=cut_names
         )
 
     def _residual_reachable(self, s: int, eps: float) -> set[int]:
         """Vertices reachable from ``s`` in the residual graph."""
+        self._ensure_csr()
+        arc_to = self._arc_to
+        arc_cap = self._arc_cap
+        arc_flow = self._arc_flow
+        csr_start = self._csr_start
+        csr_arcs = self._csr_arcs
         seen = {s}
         stack = [s]
         while stack:
             u = stack.pop()
-            for edge in self._adj[u]:
-                if edge.residual > eps and edge.to not in seen:
-                    seen.add(edge.to)
-                    stack.append(edge.to)
+            for k in range(csr_start[u], csr_start[u + 1]):
+                a = csr_arcs[k]
+                v = arc_to[a]
+                if v not in seen and arc_cap[a] - arc_flow[a] > eps:
+                    seen.add(v)
+                    stack.append(v)
         return seen

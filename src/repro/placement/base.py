@@ -3,10 +3,12 @@
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass, field
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.profiler import Profiler
+from repro.core.errors import PlacementError
 from repro.core.placement_types import ModelPlacement
 from repro.flow.graph import FlowGraph, FlowSolution
 from repro.milp.solution import MilpSolution
@@ -73,6 +75,15 @@ class PlacementPlanner(abc.ABC):
         self.model = model
         self.profiler = profiler or Profiler()
         self.partial_inference = partial_inference
+        #: When true (default), candidate placements are evaluated through a
+        #: per-cluster :class:`FlowGraph` that is built once and re-targeted
+        #: via :meth:`FlowGraph.reevaluate`. Set false to rebuild the graph
+        #: for every evaluation (the perf harness's rebuild baseline).
+        self.incremental_flow = True
+        self._flow_evaluators: dict[int, tuple[Cluster, FlowGraph]] = {}
+        #: Evaluation telemetry, reported by the perf harness.
+        self.flow_eval_count = 0
+        self.flow_eval_seconds = 0.0
 
     @abc.abstractmethod
     def plan(self) -> PlannerResult:
@@ -110,6 +121,50 @@ class PlacementPlanner(abc.ABC):
             key=lambda nid: (-self.per_layer_rate(nid), nid),
         )
 
+    def evaluate_placement(
+        self, placement: ModelPlacement, cluster: Cluster | None = None
+    ) -> FlowSolution:
+        """Solve a placement's max flow through the per-cluster evaluator.
+
+        The first evaluation on a cluster builds its :class:`FlowGraph`;
+        subsequent evaluations re-target it incrementally, which is the hot
+        path of hint ranking, LNS, and incumbent checks. The evaluator
+        snapshots the cluster topology, so planners must not mutate the
+        cluster mid-plan (none do). Raises :class:`PlacementError` when the
+        placement cannot serve.
+        """
+        if cluster is None:  # not truthiness: an empty Cluster is falsy
+            cluster = self.cluster
+        start = time.perf_counter()
+        try:
+            if not self.incremental_flow:
+                return FlowGraph(
+                    cluster, self.model, placement, self.profiler,
+                    self.partial_inference,
+                ).solve()
+            entry = self._flow_evaluators.get(id(cluster))
+            if entry is None:
+                graph = FlowGraph(
+                    cluster, self.model, placement, self.profiler,
+                    self.partial_inference,
+                )
+                # Keep the cluster reference alive so its id stays unique.
+                self._flow_evaluators[id(cluster)] = (cluster, graph)
+                return graph.solve()
+            return entry[1].reevaluate(placement)
+        finally:
+            self.flow_eval_count += 1
+            self.flow_eval_seconds += time.perf_counter() - start
+
+    def placement_throughput(
+        self, placement: ModelPlacement, cluster: Cluster | None = None
+    ) -> float:
+        """Max-flow value of a placement, 0 when it cannot serve at all."""
+        try:
+            return self.evaluate_placement(placement, cluster).max_flow
+        except PlacementError:
+            return 0.0
+
     def solve_flow(
         self, placement: ModelPlacement, weight_fraction: float | None = None
     ) -> FlowSolution:
@@ -119,14 +174,7 @@ class PlacementPlanner(abc.ABC):
             for nid in self.cluster.node_ids
         }
         placement.validate(max_layers_per_node=bounds)
-        graph = FlowGraph(
-            self.cluster,
-            self.model,
-            placement,
-            self.profiler,
-            partial_inference=self.partial_inference,
-        )
-        return graph.solve()
+        return self.evaluate_placement(placement)
 
     def compute_upper_bound(self) -> float:
         """The paper's §4.5 throughput upper bound.

@@ -30,7 +30,7 @@ from repro.cluster.node import COORDINATOR
 from repro.cluster.profiler import Profiler
 from repro.core.errors import PlacementError, SolverError
 from repro.core.placement_types import ModelPlacement
-from repro.flow.graph import FlowGraph, connection_is_valid
+from repro.flow.graph import connection_is_valid
 from repro.milp.branch_and_bound import BranchAndBoundSolver
 from repro.milp.model import MilpProblem, Variable, lin_sum
 from repro.milp.scipy_backend import solve_with_highs
@@ -340,10 +340,7 @@ class HelixMilpPlanner(PlacementPlanner):
         intervals = self._canonicalize(intervals, cluster)
         full = ModelPlacement.from_intervals(num_layers, intervals)
 
-        graph = FlowGraph(
-            cluster, self.model, full, self.profiler, self.partial_inference
-        )
-        solution = graph.solve()
+        solution = self.evaluate_placement(full, cluster)
 
         values: dict[str, float] = {}
         for nid, s_var in formulation.s_vars.items():
@@ -370,16 +367,14 @@ class HelixMilpPlanner(PlacementPlanner):
     def _placement_value(
         self, placement: ModelPlacement, cluster: Cluster | None = None
     ) -> float:
-        """Max-flow value of a placement, 0 when it cannot serve at all."""
-        cluster = cluster or self.cluster
-        try:
-            graph = FlowGraph(
-                cluster, self.model, placement, self.profiler,
-                self.partial_inference,
-            )
-            return graph.solve().max_flow
-        except PlacementError:
-            return 0.0
+        """Max-flow value of a placement, 0 when it cannot serve at all.
+
+        Routed through the per-cluster incremental evaluator
+        (:meth:`PlacementPlanner.evaluate_placement`), so the thousands of
+        calls issued by hint ranking, LNS windows, and incumbent checks
+        rewrite a few edge capacities instead of rebuilding the graph.
+        """
+        return self.placement_throughput(placement, cluster)
 
     def _extended_placement(
         self, formulation: MilpFormulation, placement: ModelPlacement,

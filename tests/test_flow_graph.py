@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cluster import COORDINATOR, Profiler, toy_cluster_fig2
-from repro.core.errors import PlacementError
+from repro.core.errors import ClusterError, PlacementError
 from repro.core.placement_types import ModelPlacement
 from repro.flow.graph import FlowGraph, connection_is_valid, placement_max_flow
 
@@ -161,3 +161,111 @@ class TestFlowGraph:
         ]
         assert entries == [COORDINATOR] * len(entries)
         assert solution.max_flow > 0
+
+
+class TestReevaluate:
+    """The incremental fast path must be indistinguishable from rebuilding."""
+
+    CANDIDATES = [
+        {"a100-0": (0, 4), "l4-0": (4, 8), "t4-0": (4, 8), "t4-1": (0, 4)},
+        {"a100-0": (0, 8), "l4-0": (4, 8), "t4-0": (4, 8), "t4-1": (0, 4)},
+        {"a100-0": (0, 8)},
+        {"a100-0": (0, 5), "l4-0": (3, 8), "t4-0": (4, 8), "t4-1": (0, 4)},
+        {"a100-0": (0, 4), "l4-0": (4, 8), "t4-0": (4, 8), "t4-1": (0, 4)},
+    ]
+
+    def test_matches_fresh_build_over_a_candidate_stream(
+        self, small_cluster, tiny_model
+    ):
+        placements = [
+            ModelPlacement.from_intervals(8, intervals)
+            for intervals in self.CANDIDATES
+        ]
+        profiler = Profiler()
+        evaluator = FlowGraph(small_cluster, tiny_model, placements[0], profiler)
+        for placement in placements:
+            incremental = evaluator.reevaluate(placement)
+            fresh = FlowGraph(small_cluster, tiny_model, placement, profiler).solve()
+            assert incremental.max_flow == pytest.approx(fresh.max_flow)
+            assert incremental.node_capacities == pytest.approx(fresh.node_capacities)
+            assert incremental.connection_capacities == pytest.approx(
+                fresh.connection_capacities
+            )
+            assert incremental.node_flows == pytest.approx(fresh.node_flows)
+            assert set(incremental.connection_flows) == set(fresh.connection_flows)
+            for key, flow in fresh.connection_flows.items():
+                assert incremental.connection_flows[key] == pytest.approx(flow)
+
+    def test_valid_connections_track_the_placement(self, small_cluster, tiny_model):
+        chain = ModelPlacement.from_intervals(8, {"a100-0": (0, 4), "l4-0": (4, 8)})
+        solo = ModelPlacement.from_intervals(8, {"a100-0": (0, 8)})
+        evaluator = FlowGraph(small_cluster, tiny_model, chain)
+        assert ("a100-0", "l4-0") in evaluator.valid_connections()
+        evaluator.reevaluate(solo)
+        assert ("a100-0", "l4-0") not in evaluator.valid_connections()
+        assert (COORDINATOR, "a100-0") in evaluator.valid_connections()
+
+    def test_unchanged_placement_reuses_cached_solution(
+        self, small_cluster, tiny_model
+    ):
+        placement = ModelPlacement.from_intervals(8, {"a100-0": (0, 8)})
+        identical = ModelPlacement.from_intervals(8, {"a100-0": (0, 8)})
+        evaluator = FlowGraph(small_cluster, tiny_model, placement)
+        first = evaluator.solve()
+        assert evaluator.reevaluate(identical) is first
+
+    def test_invalid_placement_raises_and_evaluator_recovers(
+        self, small_cluster, tiny_model
+    ):
+        good = ModelPlacement.from_intervals(8, {"a100-0": (0, 8)})
+        no_first = ModelPlacement.from_intervals(8, {"a100-0": (1, 8)})
+        evaluator = FlowGraph(small_cluster, tiny_model, good)
+        expected = evaluator.solve().max_flow
+        with pytest.raises(PlacementError, match="first layer"):
+            evaluator.reevaluate(no_first)
+        assert evaluator.reevaluate(good).max_flow == pytest.approx(expected)
+
+    def test_unknown_node_rejected(self, small_cluster, tiny_model):
+        good = ModelPlacement.from_intervals(8, {"a100-0": (0, 8)})
+        ghost = ModelPlacement.from_intervals(
+            8, {"a100-0": (0, 8), "ghost": (0, 8)}
+        )
+        evaluator = FlowGraph(small_cluster, tiny_model, good)
+        with pytest.raises(ClusterError, match="unknown node"):
+            evaluator.reevaluate(ghost)
+
+    def test_partial_inference_flag_respected_incrementally(
+        self, small_cluster, tiny_model
+    ):
+        overlap = ModelPlacement.from_intervals(
+            8, {"a100-0": (0, 5), "l4-0": (3, 8)}
+        )
+        strict = FlowGraph(
+            small_cluster, tiny_model,
+            ModelPlacement.from_intervals(8, {"a100-0": (0, 8)}),
+            partial_inference=False,
+        )
+        strict.reevaluate(overlap)
+        assert ("a100-0", "l4-0") not in strict.valid_connections()
+
+    def test_num_layers_change_revalidates_all_links(self, small_cluster, tiny_model):
+        # Sink-side validity depends on num_layers, so an unchanged interval
+        # can still gain or lose its link to the coordinator.
+        short = ModelPlacement.from_intervals(8, {"a100-0": (0, 8)})
+        longer = ModelPlacement.from_intervals(
+            16, {"a100-0": (0, 8), "l4-0": (8, 16)}
+        )
+        evaluator = FlowGraph(small_cluster, tiny_model, short)
+        evaluator.solve()
+        incremental = evaluator.reevaluate(longer)
+        fresh = FlowGraph(small_cluster, tiny_model, longer).solve()
+        assert incremental.max_flow == pytest.approx(fresh.max_flow)
+        assert set(incremental.connection_flows) == set(fresh.connection_flows)
+        # a100-0 no longer holds the last layer: no edge to the sink.
+        assert ("a100-0", COORDINATOR) not in incremental.connection_flows
+        # And back again.
+        back = evaluator.reevaluate(short)
+        assert ("a100-0", COORDINATOR) in back.connection_flows
+        assert back.max_flow == pytest.approx(
+            FlowGraph(small_cluster, tiny_model, short).solve().max_flow
+        )

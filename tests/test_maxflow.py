@@ -1,4 +1,6 @@
-"""Tests for the Dinic max-flow implementation, incl. networkx cross-check."""
+"""Tests for the flat-array Dinic max-flow kernel, incl. networkx cross-check."""
+
+import random
 
 import networkx as nx
 import pytest
@@ -138,6 +140,139 @@ class TestFlowProperties:
         for eid, flow in result.edge_flows.items():
             _, _, cap = net.edge_endpoints(eid)
             assert -1e-9 <= flow <= cap + 1e-9
+
+
+class TestIterativeDepth:
+    def test_deep_chain_solves_without_recursion(self):
+        """A 5,000-node chain blew the recursive DFS's stack; the iterative
+        kernel must solve it well inside the default recursion limit."""
+        net = FlowNetwork()
+        n = 5000
+        for i in range(n):
+            net.add_edge(f"v{i}", f"v{i + 1}", 10.0 + (i % 7))
+        result = net.max_flow("v0", f"v{n}")
+        assert result.value == pytest.approx(10.0)  # min capacity on the chain
+        assert sum(1 for f in result.edge_flows.values() if f > 0) == n
+
+    def test_deep_chain_with_branches(self):
+        net = FlowNetwork()
+        n = 2000
+        for i in range(n):
+            net.add_edge(f"v{i}", f"v{i + 1}", 5.0)
+            net.add_edge("s", f"v{i}", 0.001)
+        net.add_edge("s", "v0", 5.0)
+        result = net.max_flow("s", f"v{n}")
+        assert result.value == pytest.approx(5.0)
+
+
+class TestReuse:
+    def test_set_capacity_then_resolve_matches_fresh_build(self):
+        edges = [
+            ("s", "a", 3.0), ("s", "b", 2.0), ("a", "c", 3.0),
+            ("b", "c", 3.0), ("a", "b", 1.0), ("c", "t", 4.0),
+        ]
+        net, _ = build_pair(edges)
+        net.max_flow("s", "t")
+        updates = {0: 6.0, 5: 2.5, 3: 0.0}
+        for eid, cap in updates.items():
+            net.set_capacity(eid, cap)
+        resolved = net.max_flow("s", "t")
+
+        fresh = FlowNetwork()
+        for eid, (u, v, cap) in enumerate(edges):
+            fresh.add_edge(u, v, updates.get(eid, cap))
+        expected = fresh.max_flow("s", "t")
+        assert resolved.value == pytest.approx(expected.value)
+        assert resolved.edge_flows == pytest.approx(expected.edge_flows)
+        assert resolved.min_cut_source_side == expected.min_cut_source_side
+
+    def test_repeated_solves_are_deterministic(self):
+        net, _ = build_pair(
+            [("s", "a", 4), ("s", "b", 3), ("a", "b", 2), ("a", "t", 2),
+             ("b", "t", 5)]
+        )
+        first = net.max_flow("s", "t")
+        second = net.max_flow("s", "t")
+        assert first.value == second.value
+        assert first.edge_flows == second.edge_flows
+
+    def test_set_capacity_to_zero_disables_edge(self):
+        net = FlowNetwork()
+        e1 = net.add_edge("s", "t", 2.0)
+        e2 = net.add_edge("s", "t", 3.0)
+        net.set_capacity(e1, 0.0)
+        result = net.max_flow("s", "t")
+        assert result.value == pytest.approx(3.0)
+        assert result.edge_flows[e1] == 0.0
+        assert result.edge_flows[e2] == pytest.approx(3.0)
+
+    def test_set_capacity_can_grow_flow(self):
+        net = FlowNetwork()
+        eid = net.add_edge("s", "a", 1.0)
+        net.add_edge("a", "t", 10.0)
+        assert net.max_flow("s", "t").value == pytest.approx(1.0)
+        net.set_capacity(eid, 7.0)
+        assert net.max_flow("s", "t").value == pytest.approx(7.0)
+
+    def test_lowering_the_largest_capacity_rescales_epsilon(self):
+        # Shrinking the max-capacity edge marks the epsilon scale dirty;
+        # the next solve must recompute it and still be exact.
+        net = FlowNetwork()
+        big = net.add_edge("s", "a", 1e9)
+        net.add_edge("a", "t", 2.0)
+        assert net.max_flow("s", "t").value == pytest.approx(2.0)
+        net.set_capacity(big, 1.5)
+        assert net.max_flow("s", "t").value == pytest.approx(1.5)
+
+    def test_reset_flow_clears_previous_solution(self):
+        net, _ = build_pair([("s", "a", 4), ("a", "t", 4)])
+        net.max_flow("s", "t")
+        net.reset_flow()
+        assert net.max_flow("s", "t").value == pytest.approx(4.0)
+
+    def test_edge_endpoints_reflects_updated_capacity(self):
+        net = FlowNetwork()
+        eid = net.add_edge("x", "y", 2.5)
+        net.set_capacity(eid, 9.0)
+        assert net.edge_endpoints(eid) == ("x", "y", 9.0)
+
+    def test_set_capacity_rejects_bad_arguments(self):
+        net = FlowNetwork()
+        eid = net.add_edge("s", "t", 1.0)
+        with pytest.raises(ValueError, match="negative"):
+            net.set_capacity(eid, -1.0)
+        with pytest.raises(ValueError, match="unknown edge"):
+            net.set_capacity(eid + 1, 1.0)
+
+    def test_randomized_retune_cycles_match_networkx(self):
+        rng = random.Random(7)
+        net = FlowNetwork()
+        names = [f"v{i}" for i in range(8)]
+        edges = []
+        for _ in range(24):
+            u, v = rng.sample(names, 2)
+            cap = rng.uniform(0.5, 20.0)
+            edges.append([u, v, cap])
+            net.add_edge(u, v, cap)
+        net.add_node("v0")
+        net.add_node("v7")
+        for _ in range(10):
+            for _ in range(3):
+                eid = rng.randrange(len(edges))
+                cap = rng.choice([0.0, rng.uniform(0.5, 20.0)])
+                edges[eid][2] = cap
+                net.set_capacity(eid, cap)
+            graph = nx.DiGraph()
+            graph.add_node("v0")
+            graph.add_node("v7")
+            for u, v, cap in edges:
+                if graph.has_edge(u, v):
+                    graph[u][v]["capacity"] += cap
+                else:
+                    graph.add_edge(u, v, capacity=cap)
+            ours = net.max_flow("v0", "v7").value
+            theirs = nx.maximum_flow_value(graph, "v0", "v7")
+            assert ours == pytest.approx(theirs, rel=1e-6, abs=1e-6)
 
 
 @st.composite

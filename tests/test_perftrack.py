@@ -1,0 +1,71 @@
+"""Tests for the perf-tracking harness (``repro.bench.perftrack``)."""
+
+import json
+
+import pytest
+
+from repro.bench.perftrack import (
+    PerfTracker,
+    bench_cluster,
+    candidate_placements,
+    run_flow_bench,
+)
+from repro.models.specs import LLAMA_70B
+
+
+class TestPerfTracker:
+    def test_time_records_laps(self):
+        tracker = PerfTracker(label="unit")
+        timing = tracker.time("noop", lambda: None, repeats=3, tag="x")
+        assert timing.repeats == 3
+        assert timing.best_s <= timing.mean_s <= timing.total_s
+        assert timing.meta == {"tag": "x"}
+        assert tracker.timings == [timing]
+
+    def test_time_rejects_zero_repeats(self):
+        with pytest.raises(ValueError, match="repeats"):
+            PerfTracker().time("noop", lambda: None, repeats=0)
+
+    def test_speedup_and_write_roundtrip(self, tmp_path):
+        tracker = PerfTracker(label="unit")
+        slow = tracker.time("slow", lambda: sum(range(20_000)), repeats=2)
+        fast = tracker.time("fast", lambda: None, repeats=2)
+        ratio = tracker.speedup("ratio", slow, fast)
+        assert ratio > 1.0
+        path = tracker.write(tmp_path / "BENCH_unit.json")
+        doc = json.loads(path.read_text())
+        assert doc["label"] == "unit"
+        assert doc["derived"]["ratio"] == pytest.approx(ratio)
+        assert [t["name"] for t in doc["timings"]] == ["slow", "fast"]
+
+
+class TestCandidateStream:
+    def test_candidates_are_valid_and_distinct(self):
+        cluster = bench_cluster(8)
+        placements = candidate_placements(cluster, LLAMA_70B, 6, seed=3)
+        assert len(placements) == 6
+        for placement in placements:
+            placement.validate()  # full layer coverage, bounds respected
+        signatures = {
+            tuple(sorted(
+                (nid, s.start, s.end) for nid, s in p.assignments.items()
+            ))
+            for p in placements
+        }
+        assert len(signatures) > 1  # the stream actually moves nodes
+
+
+@pytest.mark.perf
+def test_flow_bench_smoke_writes_artifact(tmp_path):
+    """Tier-1-safe smoke run: tiny sizes, but the full harness and the
+    ``BENCH_flow.json`` generation path are exercised end to end."""
+    path = tmp_path / "BENCH_flow.json"
+    doc = run_flow_bench(smoke=True, path=path)
+    assert path.exists()
+    on_disk = json.loads(path.read_text())
+    assert on_disk["derived"] == doc["derived"]
+    assert doc["derived"]["placement_eval_speedup"] > 1.0
+    assert doc["derived"]["kernel_reuse_speedup"] > 0.0
+    names = [t["name"] for t in doc["timings"]]
+    assert "eval_rebuild_per_candidate" in names
+    assert "eval_incremental" in names

@@ -238,3 +238,49 @@ class TestHelixPlannerSmall:
     def test_unknown_backend_rejected(self, small_cluster, tiny_model):
         with pytest.raises(ValueError, match="backend"):
             HelixMilpPlanner(small_cluster, tiny_model, backend="gurobi")
+
+
+class TestPlacementEvaluator:
+    def test_explicit_cluster_is_not_silently_replaced(
+        self, small_cluster, tiny_model
+    ):
+        # Cluster defines __len__, so an empty cluster is falsy; the
+        # evaluator must still honor it instead of falling back to the
+        # planner's full cluster and overvaluing the candidate.
+        from repro.core.errors import ClusterError
+        from repro.placement.petals import PetalsPlanner
+        from repro.core.placement_types import ModelPlacement
+
+        planner = PetalsPlanner(small_cluster, tiny_model)
+        placement = ModelPlacement.from_intervals(8, {"a100-0": (0, 8)})
+        empty = Cluster(name="empty")
+        with pytest.raises(ClusterError):
+            planner.evaluate_placement(placement, empty)
+
+    def test_placement_throughput_matches_fresh_flow_graph(
+        self, small_cluster, tiny_model
+    ):
+        from repro.flow.graph import placement_max_flow
+        from repro.core.placement_types import ModelPlacement
+        from repro.placement.petals import PetalsPlanner
+
+        planner = PetalsPlanner(small_cluster, tiny_model)
+        candidates = [
+            {"a100-0": (0, 8)},
+            {"a100-0": (0, 4), "l4-0": (4, 8)},
+            {"a100-0": (0, 4), "l4-0": (4, 8), "t4-0": (4, 8), "t4-1": (0, 4)},
+            {"a100-0": (0, 8)},
+        ]
+        for intervals in candidates:
+            placement = ModelPlacement.from_intervals(8, intervals)
+            assert planner.placement_throughput(placement) == pytest.approx(
+                placement_max_flow(small_cluster, tiny_model, placement)
+            )
+
+    def test_invalid_placement_scores_zero(self, small_cluster, tiny_model):
+        from repro.core.placement_types import ModelPlacement
+        from repro.placement.petals import PetalsPlanner
+
+        planner = PetalsPlanner(small_cluster, tiny_model)
+        no_first = ModelPlacement.from_intervals(8, {"a100-0": (1, 8)})
+        assert planner.placement_throughput(no_first) == 0.0
