@@ -1,22 +1,31 @@
-"""Performance tracking for the flow kernel and placement planner.
+"""Performance tracking for the flow kernel, MILP stack, and planner.
 
 The repo's north star is running as fast as the hardware allows, so perf
 needs a trajectory, not anecdotes. This module provides:
 
 * :class:`PerfTracker` — a tiny timing harness that records named timings
   plus derived metrics (speedups) and serializes them to JSON;
-* scenario benchmarks — the repeated placement-evaluation microbenchmark
+* flow scenarios — the repeated placement-evaluation microbenchmark
   (incremental :meth:`~repro.flow.graph.FlowGraph.reevaluate` vs. a
   rebuild-per-candidate baseline), a raw kernel-reuse microbenchmark
   (:meth:`~repro.flow.maxflow.FlowNetwork.set_capacity` + re-solve vs.
   rebuilding the network), and an end-to-end Helix planner run with the
   incremental evaluator on and off;
-* :func:`run_flow_bench` — runs everything and writes ``BENCH_flow.json``
-  at the repo root so future PRs can compare against a recorded baseline.
+* MILP scenarios — incremental formulation compile vs. full recompile
+  across an LNS-like constraint churn stream, vectorized feasibility
+  checking vs. the per-constraint loop, branch-and-bound with pseudocost
+  branching/diving/propagation on vs. off (node, LP, and
+  time-to-first-incumbent counts), and end-to-end Helix MILP planning in
+  the pre-optimization configuration vs. the adaptive/incremental path on
+  both solver backends;
+* :func:`run_flow_bench` / :func:`run_milp_bench` — run everything and
+  write ``BENCH_flow.json`` / ``BENCH_milp.json`` at the repo root so
+  future PRs can compare against a recorded baseline.
 
-``benchmarks/bench_perf_flow.py`` drives the full-size configuration; the
-tier-1 suite runs the same harness at smoke sizes (``smoke=True``) on every
-test run so the JSON artifact generation never rots.
+``benchmarks/bench_perf_flow.py`` and ``benchmarks/bench_perf_milp.py``
+drive the full-size configurations; the tier-1 suite runs the same
+harnesses at smoke sizes (``smoke=True``) on every test run so the JSON
+artifact generation never rots.
 """
 
 from __future__ import annotations
@@ -39,6 +48,19 @@ from repro.models.specs import LLAMA_70B, ModelSpec
 SCHEMA_VERSION = 1
 REPO_ROOT = Path(__file__).resolve().parents[3]
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_flow.json"
+DEFAULT_MILP_OUTPUT = REPO_ROOT / "BENCH_milp.json"
+
+#: A small model whose formulations our pure-Python branch-and-bound can
+#: solve to proven optimality in benchmark time.
+TINY_BENCH_MODEL = ModelSpec(
+    name="tiny-8L",
+    num_layers=8,
+    hidden_size=1024,
+    num_heads=8,
+    num_kv_heads=8,
+    intermediate_size=2816,
+    nominal_params=8 * (4 * 1024**2 + 3 * 1024 * 2816),
+)
 
 
 @dataclass
@@ -350,6 +372,277 @@ def bench_planner(
             baseline_planner.flow_eval_seconds / fast_planner.flow_eval_seconds,
         )
     return metrics
+
+
+# ----------------------------------------------------------------------
+# MILP benchmarks
+# ----------------------------------------------------------------------
+def helix_formulation(num_nodes: int, model: ModelSpec = TINY_BENCH_MODEL):
+    """A Helix MILP formulation (and its planner) on a bench cluster."""
+    from repro.placement.helix_milp import HelixMilpPlanner
+
+    cluster = bench_cluster(num_nodes)
+    planner = HelixMilpPlanner(cluster, model, Profiler())
+    return planner, planner.build_formulation()
+
+
+def bench_milp_compile(
+    tracker: PerfTracker,
+    num_nodes: int = 16,
+    rounds: int = 20,
+    repeats: int = 3,
+    model: ModelSpec = TINY_BENCH_MODEL,
+) -> float:
+    """Formulation compile under LNS-like churn: incremental vs. full.
+
+    Each round appends a handful of fixing constraints plus a cutoff (what
+    every LNS round does), compiles, and truncates them again. The
+    baseline invalidates the problem's compile cache each round — the
+    historical compile-from-scratch cost; the fast path reuses the cached
+    constraint rows and structure, so each round only compiles its delta.
+    Returns the recorded speedup.
+    """
+    planner, formulation = helix_formulation(num_nodes, model)
+    problem = formulation.problem
+    node_ids = list(formulation.s_vars)
+
+    def run_rounds(invalidate: bool) -> list:
+        shapes = []
+        for round_index in range(rounds):
+            base_len = len(problem.constraints)
+            for nid in node_ids[round_index % 3 :: 3]:
+                problem.add_constraint(
+                    formulation.s_vars[nid] == 0.0,
+                    name=f"bench_fix[{nid}]",
+                )
+            problem.add_constraint(
+                problem.objective >= float(round_index), name="bench_cutoff"
+            )
+            if invalidate:
+                problem.invalidate()
+            shapes.append(problem.compile().a_matrix.shape)
+            del problem.constraints[base_len:]
+        problem.compile()  # restore the truncated cached structure
+        return shapes
+
+    base_shapes = run_rounds(invalidate=True)
+    fast_shapes = run_rounds(invalidate=False)
+    if base_shapes != fast_shapes:
+        raise AssertionError("incremental compile diverged from full recompile")
+
+    baseline = tracker.time(
+        "milp_compile_full", lambda: run_rounds(True), repeats=repeats,
+        num_nodes=num_nodes, rounds=rounds,
+        num_constraints=problem.num_constraints,
+    )
+    fast = tracker.time(
+        "milp_compile_incremental", lambda: run_rounds(False), repeats=repeats,
+        num_nodes=num_nodes, rounds=rounds,
+        num_constraints=problem.num_constraints,
+    )
+    return tracker.speedup("milp_compile_speedup", baseline, fast)
+
+
+def bench_milp_feascheck(
+    tracker: PerfTracker,
+    num_nodes: int = 16,
+    checks: int = 40,
+    repeats: int = 3,
+    model: ModelSpec = TINY_BENCH_MODEL,
+) -> float:
+    """Feasibility checking: per-constraint loop vs. one sparse mat-vec."""
+    planner, formulation = helix_formulation(num_nodes, model)
+    problem = formulation.problem
+    hints = planner.heuristic_hints(planner.cluster)
+    if not hints:
+        raise AssertionError("no heuristic hint available for the bench cluster")
+    values = planner.assignment_from_placement(
+        formulation, hints[0], planner.cluster
+    )
+
+    def loop_check() -> list[str]:
+        violated = []
+        for _ in range(checks):
+            violated = [
+                c.name or f"constraint[{i}]"
+                for i, c in enumerate(problem.constraints)
+                if c.violated_by(values, 1e-5)
+            ]
+        return violated
+
+    def vector_check() -> list[str]:
+        violated = []
+        for _ in range(checks):
+            violated = problem.check_feasible(values)
+        return violated
+
+    if loop_check() != vector_check():
+        raise AssertionError("vectorized check_feasible diverged from the loop")
+
+    baseline = tracker.time(
+        "milp_feascheck_loop", loop_check, repeats=repeats,
+        num_constraints=problem.num_constraints, checks=checks,
+    )
+    fast = tracker.time(
+        "milp_feascheck_vectorized", vector_check, repeats=repeats,
+        num_constraints=problem.num_constraints, checks=checks,
+    )
+    return tracker.speedup("milp_feascheck_speedup", baseline, fast)
+
+
+def bench_milp_bnb(
+    tracker: PerfTracker,
+    num_nodes: int = 6,
+    repeats: int = 2,
+    model: ModelSpec = TINY_BENCH_MODEL,
+) -> dict[str, float]:
+    """Branch-and-bound ablation: pseudocost + diving + propagation on/off.
+
+    Solves the same Helix formulation to proven optimality both ways and
+    records nodes explored, LP solves, time-to-first-incumbent, and solve
+    time. Objectives are cross-checked to agree. Returns the recorded
+    metrics.
+    """
+    from repro.milp.branch_and_bound import BranchAndBoundSolver
+
+    _, formulation = helix_formulation(num_nodes, model)
+    problem = formulation.problem
+
+    results: dict[str, dict[str, float]] = {}
+
+    def solve(label: str, **options):
+        solver = BranchAndBoundSolver(problem, time_limit=120, **options)
+        solution = solver.solve()
+        results[label] = {
+            "objective": solution.objective,
+            "nodes": float(solution.node_count),
+            "lp_solves": float(solver.stats.lp_solves),
+            "time_to_first_incumbent": solver.stats.time_to_first_incumbent,
+        }
+        return solution
+
+    plain_options = dict(
+        pseudocost=False, diving=False, propagation=False,
+        reduced_cost_fixing=False,
+    )
+    baseline = tracker.time(
+        "bnb_plain", lambda: solve("plain", **plain_options), repeats=repeats,
+        num_nodes=num_nodes, model=model.name,
+    )
+    fast = tracker.time(
+        "bnb_smart", lambda: solve("smart"), repeats=repeats,
+        num_nodes=num_nodes, model=model.name,
+    )
+    plain, smart = results["plain"], results["smart"]
+    scale = max(1.0, abs(plain["objective"]))
+    if abs(plain["objective"] - smart["objective"]) > 1e-6 * scale:
+        raise AssertionError(
+            "bnb feature ablation changed the optimum: "
+            f"{plain['objective']} vs {smart['objective']}"
+        )
+    metrics = {
+        "bnb_plain_nodes": plain["nodes"],
+        "bnb_smart_nodes": smart["nodes"],
+        "bnb_plain_lp_solves": plain["lp_solves"],
+        "bnb_smart_lp_solves": smart["lp_solves"],
+        "bnb_plain_first_incumbent_s": plain["time_to_first_incumbent"],
+        "bnb_smart_first_incumbent_s": smart["time_to_first_incumbent"],
+        "bnb_node_factor": plain["nodes"] / max(1.0, smart["nodes"]),
+    }
+    for name, value in metrics.items():
+        tracker.record(name, value)
+    tracker.speedup("bnb_solve_speedup", baseline, fast)
+    return metrics
+
+
+def bench_milp_planner(
+    tracker: PerfTracker,
+    time_limit: float = 10.0,
+    lns_rounds: int = 3,
+    lns_time_limit: float = 5.0,
+    mip_rel_gap: float = 0.05,
+) -> dict[str, float]:
+    """End-to-end Helix MILP planning: pre-optimization vs. current path.
+
+    Uses the paper's Fig. 12 small cluster with LLaMA-30B (the ROADMAP's
+    reference "MILP-bound" configuration). The legacy run reproduces the
+    pre-PR-2 behaviour — one full-budget HiGHS solve plus
+    rebuild-and-recompile LNS rounds at the historical window size; the
+    fast runs use adaptive budget slicing and incremental bounds-tightened
+    LNS re-solves, once per backend. Final placement throughputs are
+    cross-checked for parity. Returns the recorded metrics.
+    """
+    from repro.cluster import small_cluster_fig12
+    from repro.models.specs import LLAMA_30B
+    from repro.placement.helix_milp import HelixMilpPlanner
+
+    cluster = small_cluster_fig12()
+    model = LLAMA_30B
+
+    def plan(**kwargs):
+        planner = HelixMilpPlanner(
+            cluster, model, Profiler(),
+            time_limit=time_limit, lns_rounds=lns_rounds,
+            lns_time_limit=lns_time_limit, mip_rel_gap=mip_rel_gap,
+            **kwargs,
+        )
+        start = time.perf_counter()
+        result = planner.plan()
+        elapsed = time.perf_counter() - start
+        return planner, result, elapsed
+
+    _, legacy_result, legacy_s = plan(
+        adaptive_budget=False, lns_mode="rebuild"
+    )
+    _, fast_result, fast_s = plan()
+    _, bnb_result, bnb_s = plan(backend="bnb")
+
+    metrics = {
+        "milp_planner_legacy_s": legacy_s,
+        "milp_planner_fast_s": fast_s,
+        "milp_planner_bnb_s": bnb_s,
+        "milp_planner_legacy_throughput": legacy_result.max_throughput,
+        "milp_planner_fast_throughput": fast_result.max_throughput,
+        "milp_planner_bnb_throughput": bnb_result.max_throughput,
+        "milp_planner_speedup": legacy_s / fast_s,
+        "milp_planner_bnb_speedup": legacy_s / bnb_s,
+        "milp_planner_backend_parity": abs(
+            fast_result.max_throughput - bnb_result.max_throughput
+        ),
+        "milp_planner_legacy_parity": abs(
+            fast_result.max_throughput - legacy_result.max_throughput
+        ),
+    }
+    for name, value in metrics.items():
+        tracker.record(name, value)
+    return metrics
+
+
+def run_milp_bench(
+    smoke: bool = False, path: Path | str | None = None
+) -> dict:
+    """Run all MILP benchmarks and write ``BENCH_milp.json``.
+
+    Args:
+        smoke: Use tiny sizes (seconds-scale total, exercised by tier-1
+            tests) instead of the full configuration.
+        path: Output path override; defaults to the repo root artifact.
+
+    Returns:
+        The serialized benchmark document (also written to disk).
+    """
+    tracker = PerfTracker(label="milp-smoke" if smoke else "milp-full")
+    if smoke:
+        bench_milp_compile(tracker, num_nodes=8, rounds=6, repeats=2)
+        bench_milp_feascheck(tracker, num_nodes=8, checks=8, repeats=2)
+        bench_milp_bnb(tracker, num_nodes=4, repeats=1)
+    else:
+        bench_milp_compile(tracker)
+        bench_milp_feascheck(tracker)
+        bench_milp_bnb(tracker)
+        bench_milp_planner(tracker)
+    tracker.write(path if path is not None else DEFAULT_MILP_OUTPUT)
+    return tracker.to_dict()
 
 
 def run_flow_bench(

@@ -4,6 +4,13 @@ Supports exactly what the Helix placement formulation needs: bounded
 continuous/integer/binary variables, linear expressions with operator
 overloading, ``<=``/``>=``/``==`` constraints, and one linear objective.
 Problems compile to the sparse arrays scipy's HiGHS interface consumes.
+
+Compilation is incremental: each constraint caches its sparse row once,
+and the problem caches the assembled constraint matrix. Appending or
+truncating constraints (the planner's LNS loop does both every round)
+only compiles the delta; variable bounds are re-gathered on every
+:meth:`MilpProblem.compile` call so bound tightening never needs a
+structural recompile.
 """
 
 from __future__ import annotations
@@ -92,13 +99,14 @@ class Variable:
 class LinExpr:
     """An affine expression ``sum(coef_i * var_i) + constant``."""
 
-    __slots__ = ("terms", "constant")
+    __slots__ = ("terms", "constant", "_arrays")
 
     def __init__(
         self, terms: Mapping[Variable, float] | None = None, constant: float = 0.0
     ) -> None:
         self.terms: dict[Variable, float] = dict(terms or {})
         self.constant = float(constant)
+        self._arrays: tuple | None = None
 
     def copy(self) -> "LinExpr":
         return LinExpr(dict(self.terms), self.constant)
@@ -156,12 +164,38 @@ class LinExpr:
     def __hash__(self) -> int:
         return id(self)
 
+    def term_arrays(self) -> tuple[tuple[str, ...], np.ndarray, np.ndarray]:
+        """Cached ``(names, variable indices, coefficients)`` arrays.
+
+        The cache keys on the term count, which catches every mutation the
+        expression API can produce (operators always build fresh objects;
+        only in-place ``terms`` edits of an already-compiled expression
+        could go stale, and nothing in the codebase does that).
+        """
+        cached = self._arrays
+        if cached is not None and cached[0] == len(self.terms):
+            return cached[1], cached[2], cached[3]
+        count = len(self.terms)
+        names = tuple(var.name for var in self.terms)
+        indices = np.fromiter(
+            (var.index for var in self.terms), dtype=np.int64, count=count
+        )
+        coefs = np.fromiter(self.terms.values(), dtype=np.float64, count=count)
+        self._arrays = (count, names, indices, coefs)
+        return names, indices, coefs
+
     def evaluate(self, values: Mapping[str, float]) -> float:
         """Evaluate under a ``{variable name: value}`` assignment."""
-        total = self.constant
-        for var, coef in self.terms.items():
-            total += coef * values[var.name]
-        return total
+        names, _, coefs = self.term_arrays()
+        if len(names) < 16:  # small expressions: the plain loop is faster
+            total = self.constant
+            for name, coef in zip(names, coefs):
+                total += coef * values[name]
+            return float(total)
+        vals = np.fromiter(
+            (values[name] for name in names), dtype=np.float64, count=len(names)
+        )
+        return float(self.constant + coefs @ vals)
 
     def __repr__(self) -> str:
         parts = [f"{coef:+g}*{var.name}" for var, coef in self.terms.items()]
@@ -185,6 +219,7 @@ class Constraint:
     expr: LinExpr
     sense: Sense
     name: str = ""
+    _row: tuple | None = field(default=None, init=False, repr=False, compare=False)
 
     def violated_by(self, values: Mapping[str, float], tol: float = 1e-6) -> bool:
         """Whether an assignment violates the constraint beyond ``tol``."""
@@ -195,10 +230,36 @@ class Constraint:
             return lhs < -tol
         return abs(lhs) > tol
 
+    def row(self) -> tuple[np.ndarray, np.ndarray, float, float]:
+        """Cached sparse row ``(columns, coefficients, lower, upper)``.
+
+        Zero coefficients are dropped; the two-sided row bounds encode the
+        sense (``lower <= row @ x <= upper``).
+        """
+        if self._row is None:
+            _, indices, coefs = self.expr.term_arrays()
+            nonzero = coefs != 0.0
+            if not nonzero.all():
+                indices, coefs = indices[nonzero], coefs[nonzero]
+            rhs = -self.expr.constant
+            if self.sense is Sense.LE:
+                lower, upper = -np.inf, rhs
+            elif self.sense is Sense.GE:
+                lower, upper = rhs, np.inf
+            else:
+                lower = upper = rhs
+            self._row = (indices, coefs, lower, upper)
+        return self._row
+
 
 @dataclass
 class CompiledArrays:
-    """Sparse form: minimize ``c @ x`` s.t. ``cl <= A @ x <= cu``, bounds."""
+    """Sparse form: minimize ``c @ x`` s.t. ``cl <= A @ x <= cu``, bounds.
+
+    ``c``, ``a_matrix``, and the constraint bound arrays may be shared with
+    the problem's compile cache — treat them as read-only. ``lower``/
+    ``upper``/``integrality`` are fresh per compile and safe to mutate.
+    """
 
     c: np.ndarray
     a_matrix: sparse.csr_matrix
@@ -208,6 +269,22 @@ class CompiledArrays:
     upper: np.ndarray
     integrality: np.ndarray
     maximize: bool
+    objective_constant: float
+
+
+@dataclass
+class _CompiledStructure:
+    """Cached constraint matrix + objective, keyed by constraint identity."""
+
+    ids: tuple[int, ...]  # id() of each constraint, in row order
+    num_vars: int
+    objective_id: int
+    objective_terms: int
+    maximize: bool
+    c: np.ndarray
+    a_matrix: sparse.csr_matrix
+    constraint_lower: np.ndarray
+    constraint_upper: np.ndarray
     objective_constant: float
 
 
@@ -221,6 +298,7 @@ class MilpProblem:
         self.objective: LinExpr = LinExpr()
         self.maximize: bool = True
         self._names: set[str] = set()
+        self._structure: _CompiledStructure | None = None
 
     # ------------------------------------------------------------------
     def add_var(
@@ -272,60 +350,150 @@ class MilpProblem:
     def num_integer_variables(self) -> int:
         return sum(1 for v in self.variables if v.is_integer)
 
-    def compile(self) -> CompiledArrays:
-        """Compile to the sparse arrays scipy's HiGHS interface consumes."""
-        n = self.num_variables
-        c = np.zeros(n)
-        for var, coef in self.objective.terms.items():
-            c[var.index] += coef
-        sign = -1.0 if self.maximize else 1.0
-        c = sign * c
+    def invalidate(self) -> None:
+        """Drop every compile cache (problem structure and constraint rows)."""
+        self._structure = None
+        for constraint in self.constraints:
+            constraint._row = None
 
-        rows, cols, data = [], [], []
-        constraint_lower = np.empty(len(self.constraints))
-        constraint_upper = np.empty(len(self.constraints))
-        for row, constraint in enumerate(self.constraints):
-            rhs = -constraint.expr.constant
-            for var, coef in constraint.expr.terms.items():
-                if coef == 0.0:
-                    continue
-                rows.append(row)
-                cols.append(var.index)
-                data.append(coef)
-            if constraint.sense is Sense.LE:
-                constraint_lower[row] = -np.inf
-                constraint_upper[row] = rhs
-            elif constraint.sense is Sense.GE:
-                constraint_lower[row] = rhs
-                constraint_upper[row] = np.inf
-            else:
-                constraint_lower[row] = rhs
-                constraint_upper[row] = rhs
-
+    def _assemble_rows(
+        self, constraints: list[Constraint]
+    ) -> tuple[sparse.csr_matrix, np.ndarray, np.ndarray]:
+        """Stack cached constraint rows into a CSR block."""
+        m = len(constraints)
+        rows = [c.row() for c in constraints]
+        lengths = np.fromiter((len(r[0]) for r in rows), dtype=np.int64, count=m)
+        indptr = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        if m:
+            indices = np.concatenate([r[0] for r in rows])
+            data = np.concatenate([r[1] for r in rows])
+        else:
+            indices = np.empty(0, dtype=np.int64)
+            data = np.empty(0, dtype=np.float64)
         a_matrix = sparse.csr_matrix(
-            (data, (rows, cols)), shape=(len(self.constraints), n)
+            (data, indices, indptr), shape=(m, self.num_variables)
         )
-        lower = np.array([v.lower for v in self.variables])
-        upper = np.array([v.upper for v in self.variables])
-        integrality = np.array(
-            [1 if v.is_integer else 0 for v in self.variables], dtype=int
+        lower = np.fromiter((r[2] for r in rows), dtype=np.float64, count=m)
+        upper = np.fromiter((r[3] for r in rows), dtype=np.float64, count=m)
+        return a_matrix, lower, upper
+
+    def _compile_structure(self) -> _CompiledStructure:
+        """Constraint matrix + objective, reusing the cache when possible.
+
+        The cache keys on constraint object identity, so the planner's LNS
+        loop — which appends a handful of rows, solves, and truncates them
+        again — only ever compiles the delta.
+        """
+        ids = tuple(map(id, self.constraints))
+        cached = self._structure
+        reusable = (
+            cached is not None
+            and cached.num_vars == self.num_variables
+            and cached.objective_id == id(self.objective)
+            and cached.objective_terms == len(self.objective.terms)
+            and cached.maximize == self.maximize
         )
-        return CompiledArrays(
+        if reusable and cached.ids == ids:
+            return cached
+
+        a_matrix = constraint_lower = constraint_upper = None
+        if reusable:
+            old = len(cached.ids)
+            if len(ids) > old and ids[:old] == cached.ids:
+                block, lo, hi = self._assemble_rows(self.constraints[old:])
+                a_matrix = sparse.vstack(
+                    [cached.a_matrix, block], format="csr"
+                )
+                constraint_lower = np.concatenate([cached.constraint_lower, lo])
+                constraint_upper = np.concatenate([cached.constraint_upper, hi])
+            elif len(ids) < old and cached.ids[: len(ids)] == ids:
+                a_matrix = cached.a_matrix[: len(ids)]
+                constraint_lower = cached.constraint_lower[: len(ids)]
+                constraint_upper = cached.constraint_upper[: len(ids)]
+        if a_matrix is None:
+            a_matrix, constraint_lower, constraint_upper = self._assemble_rows(
+                self.constraints
+            )
+
+        if reusable:
+            c = cached.c
+            objective_constant = cached.objective_constant
+        else:
+            c = np.zeros(self.num_variables)
+            _, obj_indices, obj_coefs = self.objective.term_arrays()
+            np.add.at(c, obj_indices, obj_coefs)
+            if self.maximize:
+                c = -c
+            objective_constant = self.objective.constant
+
+        self._structure = _CompiledStructure(
+            ids=ids,
+            num_vars=self.num_variables,
+            objective_id=id(self.objective),
+            objective_terms=len(self.objective.terms),
+            maximize=self.maximize,
             c=c,
             a_matrix=a_matrix,
             constraint_lower=constraint_lower,
             constraint_upper=constraint_upper,
+            objective_constant=objective_constant,
+        )
+        return self._structure
+
+    def compile(self) -> CompiledArrays:
+        """Compile to the sparse arrays scipy's HiGHS interface consumes.
+
+        The constraint matrix and objective come from an incremental cache;
+        variable bounds and integrality are gathered fresh on every call so
+        bound mutations (LNS fixing, branch-and-bound) are always honored.
+        """
+        structure = self._compile_structure()
+        n = self.num_variables
+        lower = np.fromiter((v.lower for v in self.variables), np.float64, count=n)
+        upper = np.fromiter((v.upper for v in self.variables), np.float64, count=n)
+        integrality = np.fromiter(
+            (1 if v.is_integer else 0 for v in self.variables), np.int64, count=n
+        )
+        return CompiledArrays(
+            c=structure.c,
+            a_matrix=structure.a_matrix,
+            constraint_lower=structure.constraint_lower,
+            constraint_upper=structure.constraint_upper,
             lower=lower,
             upper=upper,
             integrality=integrality,
             maximize=self.maximize,
-            objective_constant=self.objective.constant,
+            objective_constant=structure.objective_constant,
         )
 
     def check_feasible(self, values: Mapping[str, float], tol: float = 1e-5) -> list[str]:
-        """Names/indices of constraints an assignment violates."""
-        violated = []
-        for i, constraint in enumerate(self.constraints):
-            if constraint.violated_by(values, tol):
-                violated.append(constraint.name or f"constraint[{i}]")
-        return violated
+        """Names/indices of constraints an assignment violates.
+
+        Vectorized: one sparse mat-vec over the compiled structure instead
+        of a Python loop per constraint. Assignments that do not cover
+        every variable fall back to the per-constraint reference path.
+        """
+        if not self.constraints:
+            return []
+        try:
+            x = np.fromiter(
+                (values[v.name] for v in self.variables),
+                np.float64,
+                count=self.num_variables,
+            )
+        except KeyError:
+            return [
+                constraint.name or f"constraint[{i}]"
+                for i, constraint in enumerate(self.constraints)
+                if constraint.violated_by(values, tol)
+            ]
+        structure = self._compile_structure()
+        activity = structure.a_matrix @ x
+        bad = np.nonzero(
+            (activity > structure.constraint_upper + tol)
+            | (activity < structure.constraint_lower - tol)
+        )[0]
+        return [
+            self.constraints[i].name or f"constraint[{i}]" for i in bad
+        ]

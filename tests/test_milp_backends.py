@@ -1,0 +1,299 @@
+"""Cross-backend and feature-ablation tests for the MILP stack.
+
+Randomized small Helix formulations are solved with both backends and the
+objectives cross-checked; warm starts are checked to never hurt; the new
+branch-and-bound machinery (pseudocost branching, diving, propagation,
+reduced-cost fixing, delta-encoded bounds) is exercised both on and off.
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.bench.perftrack import TINY_BENCH_MODEL
+from repro.cluster import Cluster, Profiler, A100_40G, L4, T4
+from repro.core.units import GBIT
+from repro.milp import (
+    BranchAndBoundSolver,
+    MilpProblem,
+    SolveStatus,
+    lin_sum,
+    solve_with_highs,
+)
+from repro.placement.helix_milp import HelixMilpPlanner
+
+
+def random_helix_cluster(seed: int) -> Cluster:
+    """A small random heterogeneous cluster (3-5 nodes, random links)."""
+    rng = random.Random(seed)
+    num_nodes = rng.randint(3, 5)
+    cluster = Cluster(name=f"rand-{seed}")
+    gpus = (A100_40G, L4, T4)
+    node_ids = []
+    for i in range(num_nodes):
+        node_id = f"n{i}"
+        cluster.add_node(node_id, gpus[rng.randrange(3)], region="r0")
+        node_ids.append(node_id)
+    bandwidth = rng.uniform(1.0, 10.0) * GBIT
+    cluster.connect_full_mesh(
+        node_ids, bandwidth, 0.001, include_coordinator=True
+    )
+    cluster.validate()
+    return cluster
+
+
+def helix_problem(seed: int):
+    cluster = random_helix_cluster(seed)
+    planner = HelixMilpPlanner(cluster, TINY_BENCH_MODEL, Profiler())
+    return planner, planner.build_formulation()
+
+
+class TestBackendAgreement:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_backends_agree_on_random_helix_formulations(self, seed):
+        planner, formulation = helix_problem(seed)
+        highs = solve_with_highs(formulation.problem, time_limit=30)
+        bnb = BranchAndBoundSolver(
+            formulation.problem, time_limit=60, gap_tolerance=1e-6
+        ).solve()
+        assert highs.status.has_solution and bnb.status.has_solution
+        scale = max(1.0, abs(highs.objective))
+        assert abs(highs.objective - bnb.objective) <= 1e-5 * scale
+
+    @pytest.mark.parametrize("seed", [0, 2])
+    def test_warm_start_never_worse_than_cold(self, seed):
+        planner, formulation = helix_problem(seed)
+        cold = BranchAndBoundSolver(formulation.problem, time_limit=60).solve()
+        hints = planner.heuristic_hints(planner.cluster)
+        assert hints, "expected at least one heuristic hint"
+        warm_assignment = planner.assignment_from_placement(
+            formulation, hints[0], planner.cluster
+        )
+        warm = BranchAndBoundSolver(
+            formulation.problem, time_limit=60
+        ).solve(initial_incumbent=warm_assignment)
+        assert warm.status.has_solution
+        scale = max(1.0, abs(cold.objective))
+        assert warm.objective >= cold.objective - 1e-6 * scale
+
+    def test_warm_start_respected_under_tiny_node_limit(self):
+        # Even when the tree is cut off immediately, the warm incumbent
+        # must survive as the returned solution.
+        planner, formulation = helix_problem(1)
+        hints = planner.heuristic_hints(planner.cluster)
+        warm_assignment = planner.assignment_from_placement(
+            formulation, hints[0], planner.cluster
+        )
+        warm_value = formulation.problem.objective.evaluate(warm_assignment)
+        solver = BranchAndBoundSolver(
+            formulation.problem, time_limit=60, node_limit=0, diving=False
+        )
+        solution = solver.solve(initial_incumbent=warm_assignment)
+        assert solution.status.has_solution
+        assert solution.objective >= warm_value - 1e-9
+
+
+class TestPlannerEdgeCases:
+    def test_lns_on_single_node_cluster_does_not_crash(self):
+        # The incremental window heuristic must clamp to the node count
+        # (regression: rng.sample raised on a 1-node cluster).
+        cluster = Cluster(name="one")
+        cluster.add_node("n0", A100_40G, region="r0")
+        cluster.connect("coordinator", "n0", 10 * GBIT, 0.001)
+        cluster.connect("n0", "coordinator", 10 * GBIT, 0.001)
+        cluster.validate()
+        planner = HelixMilpPlanner(
+            cluster, TINY_BENCH_MODEL, Profiler(),
+            time_limit=5.0, lns_rounds=3, lns_time_limit=1.0,
+        )
+        result = planner.plan()
+        assert result.max_throughput > 0
+
+    def test_adaptive_budget_with_tiny_time_limit_returns_solution(self):
+        # Regression: a sub-50ms budget must still produce one solve.
+        cluster = random_helix_cluster(0)
+        planner = HelixMilpPlanner(
+            cluster, TINY_BENCH_MODEL, Profiler(), time_limit=0.04
+        )
+        result = planner.plan()
+        assert result.max_throughput > 0
+
+
+class TestFeatureAblations:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_features_do_not_change_the_optimum(self, seed):
+        _, formulation = helix_problem(seed)
+        plain = BranchAndBoundSolver(
+            formulation.problem, time_limit=60,
+            pseudocost=False, diving=False, propagation=False,
+            reduced_cost_fixing=False,
+        ).solve()
+        smart = BranchAndBoundSolver(formulation.problem, time_limit=60).solve()
+        scale = max(1.0, abs(plain.objective))
+        assert abs(plain.objective - smart.objective) <= 1e-5 * scale
+
+    def test_diving_finds_incumbent_before_branching(self):
+        _, formulation = helix_problem(0)
+        solver = BranchAndBoundSolver(formulation.problem, time_limit=60)
+        solution = solver.solve()
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solver.stats.dive_incumbents >= 1
+        assert solver.stats.time_to_first_incumbent <= solution.solve_time
+
+    def test_stall_time_stops_the_solve(self):
+        _, formulation = helix_problem(3)
+        solver = BranchAndBoundSolver(
+            formulation.problem, time_limit=60, stall_time=0.0
+        )
+        solution = solver.solve()
+        # With a zero stall budget the solve ends at the first incumbent.
+        assert solution.status.has_solution
+        assert solution.solve_time < 60
+
+    def test_propagation_prunes_infeasible_children(self):
+        # x + y == 5 with x branched above 5 forces y negative: the child
+        # must be pruned by propagation without an LP solve.
+        p = MilpProblem()
+        x = p.add_var("x", 0, 10, integer=True)
+        y = p.add_var("y", 0, 10, integer=True)
+        p.add_constraint(x + y == 5)
+        p.add_constraint(2 * x + y >= 5.5)
+        p.set_objective(x + 2 * y)
+        solution = BranchAndBoundSolver(p, time_limit=10).solve()
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(9.0)  # x=1, y=4
+
+    def test_solver_counts_lp_solves(self):
+        _, formulation = helix_problem(2)
+        solver = BranchAndBoundSolver(formulation.problem, time_limit=60)
+        solution = solver.solve()
+        assert solver.stats.lp_solves >= solution.node_count
+        assert solver.stats.lp_solves >= 1
+
+
+class TestCompileCache:
+    def build(self):
+        p = MilpProblem()
+        xs = [p.add_var(f"x{i}", 0, 5, integer=True) for i in range(4)]
+        p.add_constraint(lin_sum(xs) <= 10, name="cap")
+        p.add_constraint(xs[0] - xs[1] >= -2, name="skew")
+        p.set_objective(lin_sum((i + 1) * x for i, x in enumerate(xs)))
+        return p, xs
+
+    @staticmethod
+    def assert_same_arrays(a, b):
+        assert (a.a_matrix != b.a_matrix).nnz == 0
+        np.testing.assert_array_equal(a.constraint_lower, b.constraint_lower)
+        np.testing.assert_array_equal(a.constraint_upper, b.constraint_upper)
+        np.testing.assert_array_equal(a.c, b.c)
+        np.testing.assert_array_equal(a.lower, b.lower)
+        np.testing.assert_array_equal(a.upper, b.upper)
+
+    def test_cached_compile_matches_fresh(self):
+        p, xs = self.build()
+        first = p.compile()
+        second = p.compile()
+        assert second.a_matrix is first.a_matrix  # structure reused
+        p.invalidate()
+        self.assert_same_arrays(first, p.compile())
+
+    def test_append_and_truncate_are_incremental_and_correct(self):
+        p, xs = self.build()
+        base = p.compile()
+        n = len(p.constraints)
+        p.add_constraint(xs[2] == 3, name="fix")
+        appended = p.compile()
+        assert appended.a_matrix.shape[0] == n + 1
+        p.invalidate()
+        self.assert_same_arrays(appended, p.compile())
+        del p.constraints[n:]
+        truncated = p.compile()
+        assert truncated.a_matrix.shape[0] == n
+        p.invalidate()
+        self.assert_same_arrays(truncated, p.compile())
+        self.assert_same_arrays(truncated, base)
+
+    def test_bound_mutation_is_seen_without_recompile(self):
+        p, xs = self.build()
+        p.compile()
+        xs[0].lower = xs[0].upper = 2.0
+        arrays = p.compile()
+        assert arrays.lower[0] == 2.0 and arrays.upper[0] == 2.0
+        solution = solve_with_highs(p)
+        assert solution.values["x0"] == pytest.approx(2.0)
+
+    def test_objective_change_invalidates_cache(self):
+        p, xs = self.build()
+        first = p.compile()
+        p.set_objective(xs[0], maximize=False)
+        second = p.compile()
+        assert second.c[0] == 1.0
+        assert first.c[0] != second.c[0]
+
+    def test_check_feasible_falls_back_on_partial_assignment(self):
+        p, xs = self.build()
+        # Only the variables appearing in "cap"/"skew" are provided.
+        partial = {f"x{i}": 0.0 for i in range(4)}
+        assert p.check_feasible(partial) == []
+        extra = p.add_var("unused", 0, 1)
+        del extra
+        partial_missing = {f"x{i}": 5.0 for i in range(4)}
+        assert p.check_feasible(partial_missing) == ["cap"]
+
+    def test_check_feasible_matches_loop_reference(self):
+        p, xs = self.build()
+        values = {f"x{i}": 4.0 for i in range(4)}
+        reference = [
+            c.name or f"constraint[{i}]"
+            for i, c in enumerate(p.constraints)
+            if c.violated_by(values, 1e-5)
+        ]
+        assert p.check_feasible(values) == reference
+
+
+class TestSplitConstraints:
+    def test_masked_split_matches_expected_blocks(self):
+        p = MilpProblem()
+        x = p.add_var("x", 0, 10)
+        y = p.add_var("y", 0, 10)
+        p.add_constraint(x + y <= 8)
+        p.add_constraint(x - y >= 1)
+        p.add_constraint(x + 2 * y == 6)
+        p.set_objective(x + y)
+        solver = BranchAndBoundSolver(p)
+        assert solver._a_eq.shape == (1, 2)
+        assert solver._a_ub.shape == (2, 2)
+        assert solver._b_eq.tolist() == [6.0]
+        assert sorted(solver._b_ub.tolist()) == [-1.0, 8.0]
+        solution = solver.solve()
+        assert solution.status is SolveStatus.OPTIMAL
+
+    def test_no_constraints(self):
+        p = MilpProblem()
+        p.add_var("x", 0, 3, integer=True)
+        p.set_objective(p.variables[0])
+        solver = BranchAndBoundSolver(p)
+        assert solver._a_ub is None and solver._a_eq is None
+        assert solver.solve().objective == pytest.approx(3.0)
+
+
+class TestDeltaBounds:
+    def test_deep_tree_solves_without_full_bound_copies(self):
+        # A problem forcing real branching depth; correctness of the
+        # delta-chain materialization shows up as the right optimum.
+        rng = random.Random(7)
+        p = MilpProblem()
+        xs = [p.add_var(f"x{i}", 0, 3, integer=True) for i in range(8)]
+        weights = [rng.randint(2, 9) for _ in xs]
+        values = [rng.randint(1, 12) for _ in xs]
+        p.add_constraint(lin_sum(w * x for w, x in zip(weights, xs)) <= 31)
+        p.set_objective(lin_sum(v * x for v, x in zip(values, xs)))
+        bnb = BranchAndBoundSolver(p, time_limit=30).solve()
+        highs = solve_with_highs(p)
+        assert bnb.objective == pytest.approx(highs.objective)
+        # Integer feasibility of the returned values.
+        for name, value in bnb.values.items():
+            assert value == pytest.approx(round(value))
+        assert not math.isnan(bnb.objective)

@@ -9,6 +9,7 @@ from repro.bench.perftrack import (
     bench_cluster,
     candidate_placements,
     run_flow_bench,
+    run_milp_bench,
 )
 from repro.models.specs import LLAMA_70B
 
@@ -53,6 +54,26 @@ class TestCandidateStream:
             for p in placements
         }
         assert len(signatures) > 1  # the stream actually moves nodes
+
+
+@pytest.mark.perf
+def test_milp_bench_smoke_writes_artifact(tmp_path):
+    """Tier-1-safe smoke run of the MILP perf harness: tiny sizes, but the
+    cross-checked scenarios and ``BENCH_milp.json`` generation path are
+    exercised end to end."""
+    path = tmp_path / "BENCH_milp.json"
+    doc = run_milp_bench(smoke=True, path=path)
+    assert path.exists()
+    on_disk = json.loads(path.read_text())
+    assert on_disk["derived"] == doc["derived"]
+    # The incremental compile and vectorized feasibility check must not be
+    # slower than the loops they replaced even at smoke sizes.
+    assert doc["derived"]["milp_compile_speedup"] > 1.0
+    assert doc["derived"]["milp_feascheck_speedup"] > 0.5
+    assert doc["derived"]["bnb_node_factor"] > 0.0
+    names = [t["name"] for t in doc["timings"]]
+    assert "milp_compile_incremental" in names
+    assert "bnb_plain" in names and "bnb_smart" in names
 
 
 @pytest.mark.perf
