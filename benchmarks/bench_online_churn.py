@@ -1,0 +1,71 @@
+"""Perf: online dynamics — churn, fault injection, and live replanning.
+
+The `repro.online` subsystem closes the loop the paper leaves open: a
+production cluster loses nodes mid-serving and the plan must follow. The
+scenarios here exercise that loop at full size and write
+``BENCH_online.json`` at the repo root:
+
+* scripted fig12-small churn (headline) — plan LLaMA-30B on the Fig. 12
+  cluster, kill the planned node carrying the most flow mid-run, and
+  measure the windowed-goodput recovery ratio (target >= 0.7), the
+  time-to-recovery, and the warm-started incremental LNS replanning
+  latency (target < 2 s wall);
+* seeded random-churn soak — nodes failing and recovering stochastically
+  for 120 simulated seconds while the controller keeps replanning;
+  records surviving goodput vs. the pre-churn baseline and the
+  replanning-latency distribution.
+
+Run directly (``python benchmarks/bench_online_churn.py``) or through
+pytest (``pytest benchmarks/bench_online_churn.py``).
+"""
+
+import pytest
+
+from repro.bench.perftrack import (
+    DEFAULT_ONLINE_OUTPUT,
+    PerfTracker,
+    bench_online_churn,
+    bench_online_soak,
+)
+
+RECOVERY_TARGET = 0.7
+REPLAN_WALL_TARGET_S = 2.0
+
+
+def run_full() -> PerfTracker:
+    """Run the full-size configuration and write ``BENCH_online.json``."""
+    tracker = PerfTracker(label="online-full")
+    bench_online_churn(tracker)
+    bench_online_soak(tracker)
+    tracker.write(DEFAULT_ONLINE_OUTPUT)
+    return tracker
+
+
+def summarize(tracker: PerfTracker) -> str:
+    return "\n".join(
+        f"{name}: {value:.3f}" for name, value in tracker.derived.items()
+    )
+
+
+@pytest.mark.perf
+def test_perf_online(report):
+    tracker = run_full()
+    report("perf_online", summarize(tracker))
+    derived = tracker.derived
+    ratio = derived["online_recovery_ratio"]
+    assert ratio >= RECOVERY_TARGET, (
+        f"windowed goodput only recovered to {ratio:.2f} of its pre-failure "
+        f"level (target {RECOVERY_TARGET})"
+    )
+    assert derived["online_replan_wall_s"] < REPLAN_WALL_TARGET_S, (
+        "warm-started LNS replanning took "
+        f"{derived['online_replan_wall_s']:.2f}s "
+        f"(target < {REPLAN_WALL_TARGET_S}s)"
+    )
+    assert derived["online_replan_count"] >= 1
+    assert derived["soak_replans_applied"] >= 1
+    assert derived["soak_churn_goodput"] > 0, "serving died under churn"
+
+
+if __name__ == "__main__":
+    print(summarize(run_full()))

@@ -75,7 +75,26 @@ from repro.scheduling import (
     FixedPipelineScheduler,
     InterleavedWeightedRoundRobin,
 )
-from repro.sim import Simulation, Request, ServingMetrics
+from repro.sim import (
+    Simulation,
+    Request,
+    ServingMetrics,
+    DisruptionReport,
+    goodput_timeline,
+)
+from repro.online import (
+    NodeFailure,
+    NodeRecovery,
+    NodeJoin,
+    LinkDegradation,
+    LinkRecovery,
+    NetworkPartition,
+    PartitionHeal,
+    ChurnConfig,
+    random_churn,
+    scripted_schedule,
+    OnlineController,
+)
 from repro.trace import (
     AzureTraceConfig,
     synthesize_azure_trace,

@@ -28,7 +28,12 @@ from repro.bench.casestudy import (
     congestion_report,
     format_utilization,
 )
-from repro.bench.perftrack import PerfTracker, run_flow_bench
+from repro.bench.perftrack import (
+    PerfTracker,
+    run_flow_bench,
+    run_milp_bench,
+    run_online_bench,
+)
 
 __all__ = [
     "ExperimentResult",
@@ -47,4 +52,6 @@ __all__ = [
     "format_utilization",
     "PerfTracker",
     "run_flow_bench",
+    "run_milp_bench",
+    "run_online_bench",
 ]

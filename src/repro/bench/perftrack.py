@@ -18,19 +18,25 @@ needs a trajectory, not anecdotes. This module provides:
   time-to-first-incumbent counts), and end-to-end Helix MILP planning in
   the pre-optimization configuration vs. the adaptive/incremental path on
   both solver backends;
-* :func:`run_flow_bench` / :func:`run_milp_bench` — run everything and
-  write ``BENCH_flow.json`` / ``BENCH_milp.json`` at the repo root so
-  future PRs can compare against a recorded baseline.
+* online scenarios — the scripted fig12-small churn scenario (kill the
+  planned node carrying the most flow mid-run; measure the windowed
+  goodput recovery ratio and the warm-started replanning latency) and a
+  seeded random-churn soak;
+* :func:`run_flow_bench` / :func:`run_milp_bench` / :func:`run_online_bench`
+  — run everything and write ``BENCH_flow.json`` / ``BENCH_milp.json`` /
+  ``BENCH_online.json`` at the repo root so future PRs can compare
+  against a recorded baseline.
 
-``benchmarks/bench_perf_flow.py`` and ``benchmarks/bench_perf_milp.py``
-drive the full-size configurations; the tier-1 suite runs the same
-harnesses at smoke sizes (``smoke=True``) on every test run so the JSON
-artifact generation never rots.
+``benchmarks/bench_perf_flow.py``, ``benchmarks/bench_perf_milp.py``, and
+``benchmarks/bench_online_churn.py`` drive the full-size configurations;
+the tier-1 suite runs the same harnesses at smoke sizes (``smoke=True``)
+on every test run so the JSON artifact generation never rots.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import platform
 import random
 import sys
@@ -49,6 +55,7 @@ SCHEMA_VERSION = 1
 REPO_ROOT = Path(__file__).resolve().parents[3]
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_flow.json"
 DEFAULT_MILP_OUTPUT = REPO_ROOT / "BENCH_milp.json"
+DEFAULT_ONLINE_OUTPUT = REPO_ROOT / "BENCH_online.json"
 
 #: A small model whose formulations our pure-Python branch-and-bound can
 #: solve to proven optimality in benchmark time.
@@ -61,6 +68,23 @@ TINY_BENCH_MODEL = ModelSpec(
     intermediate_size=2816,
     nominal_params=8 * (4 * 1024**2 + 3 * 1024 * 2816),
 )
+
+
+def _json_safe(value):
+    """Replace non-finite floats with ``None`` recursively.
+
+    Metrics may legitimately be NaN (e.g. ``time_to_recovery`` when goodput
+    never re-reached the threshold); ``json.dumps`` would emit a bare
+    ``NaN`` token, which strict RFC-8259 parsers (jq, most non-Python
+    tooling) reject in the CI-uploaded ``BENCH_*.json`` artifacts.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {key: _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    return value
 
 
 @dataclass
@@ -114,14 +138,14 @@ class PerfTracker:
         return value
 
     def to_dict(self) -> dict:
-        return {
+        return _json_safe({
             "schema": SCHEMA_VERSION,
             "label": self.label,
             "python": sys.version.split()[0],
             "platform": platform.platform(),
             "timings": [asdict(t) for t in self.timings],
             "derived": dict(self.derived),
-        }
+        })
 
     def write(self, path: Path | str | None = None) -> Path:
         """Serialize to ``path`` (default: ``BENCH_flow.json`` at repo root)."""
@@ -616,6 +640,241 @@ def bench_milp_planner(
     for name, value in metrics.items():
         tracker.record(name, value)
     return metrics
+
+
+# ----------------------------------------------------------------------
+# Online-dynamics benchmarks
+# ----------------------------------------------------------------------
+def _fig12_online_scenario(
+    num_requests: int,
+    seed: int,
+    trace_scale: float,
+    plan_time_limit: float,
+):
+    """Shared setup of the online scenarios: plan LLaMA-30B on the Fig. 12
+    cluster and build the flooded serving configuration.
+
+    KV capacity scales with the trace so per-node concurrency matches the
+    full-scale system; the scheduler's expected output length matches the
+    scaled trace mean. Returns
+    ``(cluster, model, profiler, plan_result, trace, scheduler)``.
+    """
+    from repro.cluster import small_cluster_fig12
+    from repro.models.specs import LLAMA_30B
+    from repro.placement.helix_milp import HelixMilpPlanner
+    from repro.scheduling.helix import HelixScheduler
+    from repro.trace import offline_arrivals
+    from repro.trace.azure import (
+        AZURE_MEAN_OUTPUT, AzureTraceConfig, synthesize_azure_trace,
+    )
+
+    cluster = small_cluster_fig12()
+    model = LLAMA_30B
+    profiler = Profiler(kv_capacity_scale=trace_scale)
+    planner = HelixMilpPlanner(
+        cluster, model, profiler,
+        time_limit=plan_time_limit, mip_rel_gap=0.05,
+    )
+    result = planner.plan()
+    trace = offline_arrivals(
+        synthesize_azure_trace(
+            AzureTraceConfig(
+                num_requests=num_requests, seed=seed, scale=trace_scale
+            )
+        )
+    )
+    scheduler = HelixScheduler(
+        cluster, model, result.placement, profiler, flow=result.flow,
+        expected_output_len=AZURE_MEAN_OUTPUT * trace_scale,
+    )
+    return cluster, model, profiler, result, trace, scheduler
+
+
+def bench_online_churn(
+    tracker: PerfTracker,
+    num_requests: int = 200,
+    fail_at: float = 12.0,
+    horizon: float = 36.0,
+    window: float = 3.0,
+    seed: int = 0,
+    trace_scale: float = 0.25,
+    plan_time_limit: float = 8.0,
+    replan_lns_rounds: int = 2,
+    replan_time_limit: float = 1.0,
+) -> dict[str, float]:
+    """The scripted fig12-small churn scenario: kill a planned node mid-run.
+
+    Plans LLaMA-30B on the Fig. 12 cluster, floods it with a scaled Azure
+    trace (offline setting, KV capacity scaled with the trace so per-node
+    concurrency matches the full-scale system), then kills the node
+    carrying the most max-flow at ``fail_at``. The online controller
+    rewrites flows incrementally, runs the warm-started LNS replan, and
+    hot-swaps the repaired placement; the recorded metrics are the
+    windowed-goodput recovery ratio, the replanning wall-clock latency,
+    and the disruption counters. Given ``seed``, the run is deterministic
+    up to the replanner's solver time limits — which its LNS rounds finish
+    well under on this instance — so the recorded ratio is stable.
+    """
+    from repro.online import NodeFailure, OnlineController
+    from repro.sim.simulator import Simulation
+
+    start = time.perf_counter()
+    cluster, model, profiler, result, trace, scheduler = (
+        _fig12_online_scenario(num_requests, seed, trace_scale, plan_time_limit)
+    )
+    plan_s = time.perf_counter() - start
+
+    # Kill the planned node carrying the most flow — the worst single loss.
+    node_flows = result.flow.node_flows
+    victim = max(
+        result.placement.used_nodes,
+        key=lambda nid: node_flows.get(nid, 0.0),
+    )
+
+    controller = OnlineController(
+        model,
+        events=[NodeFailure(fail_at, victim)],
+        profiler=profiler,
+        replan_lns_rounds=replan_lns_rounds,
+        replan_time_limit=replan_time_limit,
+    )
+    simulation = Simulation(
+        cluster, model, result.placement, scheduler, trace,
+        profiler=profiler, max_batch_tokens=2048, max_time=horizon,
+        seed=seed, controller=controller,
+    )
+    start = time.perf_counter()
+    serving = simulation.run()
+    sim_s = time.perf_counter() - start
+
+    applied = controller.applied_replans
+    if not applied:
+        raise AssertionError(
+            f"churn scenario produced no applied replan: {controller.replans}"
+        )
+    report = controller.report(simulation, window=window)
+
+    metrics = {
+        "online_plan_s": plan_s,
+        "online_sim_wall_s": sim_s,
+        "online_pre_goodput": report.pre_disruption_goodput,
+        "online_post_goodput": report.post_recovery_goodput,
+        "online_recovery_ratio": report.recovery_ratio,
+        "online_time_to_recovery_s": report.time_to_recovery,
+        "online_replan_count": float(len(applied)),
+        "online_replan_wall_s": max(r.wall_seconds for r in applied),
+        "online_replanned_max_flow": applied[-1].throughput,
+        "online_requests_retried": float(serving.requests_retried),
+        "online_requests_migrated": float(serving.requests_migrated),
+        "online_tokens_lost": float(serving.tokens_lost),
+        "online_kv_overflows": float(serving.kv_overflow_events),
+    }
+    for name, value in metrics.items():
+        tracker.record(name, value)
+    return metrics
+
+
+def bench_online_soak(
+    tracker: PerfTracker,
+    duration: float = 120.0,
+    num_requests: int = 400,
+    seed: int = 0,
+    trace_scale: float = 0.25,
+    mean_time_to_failure: float = 18.0,
+    mean_time_to_recovery: float = 10.0,
+) -> dict[str, float]:
+    """Seeded random churn soak on the fig12 cluster.
+
+    Nodes fail and recover stochastically for ``duration`` simulated
+    seconds while the controller keeps replanning; records how much
+    serving survived (goodput mean over the churn window vs. the pre-churn
+    baseline) and the replanning latency distribution.
+    """
+    from repro.online import ChurnConfig, OnlineController, random_churn
+    from repro.sim.metrics import goodput_timeline
+    from repro.sim.simulator import Simulation
+
+    cluster, model, profiler, result, trace, scheduler = (
+        _fig12_online_scenario(num_requests, seed, trace_scale, 8.0)
+    )
+
+    churn_start = 12.0
+    events = random_churn(
+        cluster.node_ids,
+        ChurnConfig(
+            duration=duration - churn_start,
+            mean_time_to_failure=mean_time_to_failure,
+            mean_time_to_recovery=mean_time_to_recovery,
+            start=churn_start,
+        ),
+        seed=seed,
+    )
+    controller = OnlineController(
+        model, events=events, profiler=profiler,
+        replan_lns_rounds=2, replan_time_limit=1.0,
+    )
+    simulation = Simulation(
+        cluster, model, result.placement, scheduler, trace,
+        profiler=profiler, max_batch_tokens=2048, max_time=duration,
+        seed=seed, controller=controller,
+    )
+    start = time.perf_counter()
+    serving = simulation.run()
+    sim_s = time.perf_counter() - start
+
+    end_time = min(simulation.now, duration)
+    timeline = goodput_timeline(simulation.token_timeline, 3.0, end_time)
+    baseline = [r for t, r in timeline[1:] if t + 3.0 <= churn_start]
+    churn_window = [r for t, r in timeline if t >= churn_start]
+    applied = controller.applied_replans
+    metrics = {
+        "soak_sim_wall_s": sim_s,
+        "soak_events": float(len(events)),
+        "soak_replans_applied": float(len(applied)),
+        "soak_replan_wall_max_s": (
+            max(r.wall_seconds for r in applied) if applied else 0.0
+        ),
+        "soak_baseline_goodput": (
+            sum(baseline) / len(baseline) if baseline else 0.0
+        ),
+        "soak_churn_goodput": (
+            sum(churn_window) / len(churn_window) if churn_window else 0.0
+        ),
+        "soak_requests_retried": float(serving.requests_retried),
+        "soak_requests_migrated": float(serving.requests_migrated),
+        "soak_tokens_lost": float(serving.tokens_lost),
+    }
+    for name, value in metrics.items():
+        tracker.record(name, value)
+    return metrics
+
+
+def run_online_bench(
+    smoke: bool = False, path: Path | str | None = None
+) -> dict:
+    """Run the online-dynamics benchmarks and write ``BENCH_online.json``.
+
+    Both sizes run the *same* fig12-small kill-a-planned-node scenario
+    (the subsystem's acceptance scenario); smoke shortens the trace and
+    horizon and skips the random-churn soak.
+
+    Args:
+        smoke: Tier-1-sized run (seconds-scale total).
+        path: Output path override; defaults to the repo root artifact.
+
+    Returns:
+        The serialized benchmark document (also written to disk).
+    """
+    tracker = PerfTracker(label="online-smoke" if smoke else "online-full")
+    if smoke:
+        bench_online_churn(
+            tracker, num_requests=150, fail_at=12.0, horizon=30.0
+        )
+    else:
+        bench_online_churn(tracker)
+        bench_online_soak(tracker)
+    tracker.write(path if path is not None else DEFAULT_ONLINE_OUTPUT)
+    return tracker.to_dict()
 
 
 def run_milp_bench(

@@ -20,6 +20,12 @@ class Cluster:
     The class enforces referential integrity (links only between known nodes,
     no duplicate ids) so downstream layers can trust the topology.
 
+    Nodes additionally carry an up/down *availability* state for online
+    dynamics: a node that failed mid-serving stays part of the topology (its
+    links, profiles, and identity survive so it can recover) but is reported
+    unavailable until marked up again. Planning against only the live part of
+    the cluster goes through :meth:`subcluster`.
+
     Attributes:
         name: Human-readable cluster label used in reports.
     """
@@ -27,6 +33,7 @@ class Cluster:
     name: str = "cluster"
     _nodes: dict[str, ComputeNode] = field(default_factory=dict)
     _links: dict[tuple[str, str], Link] = field(default_factory=dict)
+    _down: set[str] = field(default_factory=set)
 
     # ------------------------------------------------------------------
     # Construction
@@ -85,6 +92,84 @@ class Cluster:
             del self._links[(src, dst)]
         except KeyError:
             raise ClusterError(f"no link {src!r}->{dst!r}") from None
+
+    def remove_node(self, node_id: str) -> ComputeNode:
+        """Remove a compute node and every link incident to it.
+
+        Dropping the incident links keeps the referential integrity that
+        :meth:`validate` checks — no dangling link may reference the removed
+        node. Returns the removed node; raises if unknown.
+        """
+        try:
+            node = self._nodes.pop(node_id)
+        except KeyError:
+            raise ClusterError(f"unknown node {node_id!r}") from None
+        for key in [k for k in self._links if node_id in k]:
+            del self._links[key]
+        self._down.discard(node_id)
+        return node
+
+    def set_link_bandwidth(self, src: str, dst: str, bandwidth: float) -> Link:
+        """Replace the ``src -> dst`` link with one at ``bandwidth``.
+
+        Links are frozen (profiler lookups memoize on them), so changing a
+        live link's bandwidth — degradation, partition, repair — swaps in a
+        fresh :class:`Link` with the same latency. Returns the new link.
+        """
+        old = self.link(src, dst)
+        new = Link(src, dst, bandwidth, old.latency)
+        self._links[(src, dst)] = new
+        return new
+
+    # ------------------------------------------------------------------
+    # Availability (online dynamics)
+    # ------------------------------------------------------------------
+    def set_node_available(self, node_id: str, available: bool) -> None:
+        """Mark a node up or down; raises if the node is unknown."""
+        self.node(node_id)  # referential check
+        if available:
+            self._down.discard(node_id)
+        else:
+            self._down.add(node_id)
+
+    def node_available(self, node_id: str) -> bool:
+        """Whether a node is currently up; raises if unknown."""
+        self.node(node_id)
+        return node_id not in self._down
+
+    @property
+    def available_node_ids(self) -> list[str]:
+        """Ids of nodes currently up, in insertion order."""
+        return [nid for nid in self._nodes if nid not in self._down]
+
+    @property
+    def down_node_ids(self) -> list[str]:
+        """Ids of nodes currently down, in insertion order."""
+        return [nid for nid in self._nodes if nid in self._down]
+
+    def subcluster(self, node_ids: Iterable[str] | None = None,
+                   name: str | None = None) -> "Cluster":
+        """A new cluster over ``node_ids`` (default: the available nodes).
+
+        Keeps the selected nodes, every link between them, and their
+        coordinator links; node and link objects are shared (both are
+        frozen). All kept nodes start available. This is what online
+        replanning hands to a planner after failures.
+        """
+        keep = set(self.available_node_ids if node_ids is None else node_ids)
+        unknown = keep - set(self._nodes)
+        if unknown:
+            raise ClusterError(f"unknown nodes {sorted(unknown)!r}")
+        sub = Cluster(name=name or f"{self.name}-sub{len(keep)}")
+        for nid, node in self._nodes.items():
+            if nid in keep:
+                sub._nodes[nid] = node
+        for (src, dst), link in self._links.items():
+            if (src in keep or src == COORDINATOR) and (
+                dst in keep or dst == COORDINATOR
+            ):
+                sub._links[(src, dst)] = link
+        return sub
 
     # ------------------------------------------------------------------
     # Introspection
@@ -175,6 +260,11 @@ class Cluster:
                     raise ClusterError(
                         f"link {src!r}->{dst!r} references unknown node"
                     )
+        stale = self._down - set(self._nodes)
+        if stale:
+            raise ClusterError(
+                f"availability state references unknown nodes {sorted(stale)!r}"
+            )
         if not self.links_from(COORDINATOR):
             raise ClusterError("coordinator has no outgoing links")
         if not self.links_to(COORDINATOR):

@@ -310,6 +310,48 @@ class FlowGraph:
         self._apply_placement(placement)
         return self.solve()
 
+    def refresh_links(
+        self, keys: list[tuple[str, str]] | None = None
+    ) -> list[tuple[str, str]]:
+        """Re-read link bandwidths from the cluster after in-place changes.
+
+        The online controller degrades and repairs links mid-serving by
+        swapping the cluster's :class:`~repro.cluster.network.Link` objects;
+        this re-derives the affected token capacities and rewrites the
+        corresponding edge capacities (for currently-valid connections)
+        without touching graph structure. Newly *added* links (node joins)
+        are structural and need a fresh :class:`FlowGraph`.
+
+        Args:
+            keys: The ``(src, dst)`` connections to refresh; ``None``
+                refreshes every known link.
+
+        Returns:
+            The connections whose capacity actually changed.
+        """
+        cluster_links = self.cluster.links
+        changed: list[tuple[str, str]] = []
+        for key in keys if keys is not None else list(self._link_caps):
+            link = cluster_links.get(key)
+            if link is None or key not in self._link_edge_ids:
+                continue
+            carries_activations = (
+                key[0] != COORDINATOR and key[1] != COORDINATOR
+            )
+            capacity = self.profiler.link_token_capacity(
+                link, self.model, carries_activations
+            )
+            if capacity == self._link_caps[key]:
+                continue
+            changed.append(key)
+            self._link_caps[key] = capacity
+            if self._link_valid[key]:
+                self._connection_capacities[key] = capacity
+                self._network.set_capacity(self._link_edge_ids[key], capacity)
+        if changed:
+            self._solution = None
+        return changed
+
 
 def placement_max_flow(
     cluster: Cluster,

@@ -165,6 +165,14 @@ class BranchAndBoundSolver:
         self.trajectory: list[TrajectoryPoint] = []
         self.stats = SolveStats()
         self._compiled = problem.compile()
+        # Max-sense objective constant: ``compiled.c`` drops the affine
+        # constant, but incumbents evaluated through the expression
+        # (warm starts) include it — every internal value must agree.
+        self._obj_constant = (
+            self._compiled.objective_constant
+            if problem.maximize
+            else -self._compiled.objective_constant
+        )
         self._integer_indices = np.nonzero(self._compiled.integrality)[0]
         self._is_integer = self._compiled.integrality.astype(bool)
         self._a_ub, self._b_ub, self._a_eq, self._b_eq = self._split_constraints()
@@ -177,6 +185,10 @@ class BranchAndBoundSolver:
         # [:, 0] for down (floor) branches and [:, 1] for up (ceil).
         self._pc_sum = np.zeros((n, 2))
         self._pc_cnt = np.zeros((n, 2), dtype=np.int64)
+        # Running per-direction totals so branching does not re-reduce the
+        # full (n, 2) arrays on every node expansion.
+        self._pc_total_sum = np.zeros(2)
+        self._pc_total_cnt = np.zeros(2, dtype=np.int64)
 
     def _split_constraints(self):
         """Convert two-sided row bounds into linprog's A_ub/A_eq form.
@@ -423,9 +435,10 @@ class BranchAndBoundSolver:
         """Max-sense objective of an array assignment.
 
         ``compiled.c`` is the min-sense cost vector (already negated for
-        maximization), so the internal max-sense value is ``-(c @ x)``.
+        maximization), so the internal max-sense value is ``-(c @ x)``
+        plus the objective's affine constant.
         """
-        return -float(self._compiled.c @ x)
+        return -float(self._compiled.c @ x) + self._obj_constant
 
     def _try_rounding(self, x: np.ndarray) -> bool:
         """Round the integer part of an LP solution and adopt it if feasible.
@@ -446,7 +459,7 @@ class BranchAndBoundSolver:
         )
         if not feasible:
             return False
-        objective = -float(compiled.c @ candidate)
+        objective = self._candidate_objective(candidate)
         if objective <= self._best_objective + _BOUND_EPS:
             return False
         self.stats.dive_incumbents += 1
@@ -685,8 +698,8 @@ class BranchAndBoundSolver:
         indices, frac = candidates
         counts = self._pc_cnt[indices]
         sums = self._pc_sum[indices]
-        total_cnt = self._pc_cnt.sum(axis=0)
-        total_sum = self._pc_sum.sum(axis=0)
+        total_cnt = self._pc_total_cnt
+        total_sum = self._pc_total_sum
         # Global average pseudocost stands in for unseen variables.
         default_down = total_sum[0] / total_cnt[0] if total_cnt[0] else 1.0
         default_up = total_sum[1] / total_cnt[1] if total_cnt[1] else 1.0
@@ -715,8 +728,11 @@ class BranchAndBoundSolver:
         if not math.isfinite(degradation):
             return
         degradation = max(0.0, degradation)
-        self._pc_sum[index, direction] += degradation / max(frac_dist, 1e-6)
+        unit = degradation / max(frac_dist, 1e-6)
+        self._pc_sum[index, direction] += unit
         self._pc_cnt[index, direction] += 1
+        self._pc_total_sum[direction] += unit
+        self._pc_total_cnt[direction] += 1
 
     def _most_fractional(self, x: np.ndarray) -> int | None:
         """Index of the integer variable farthest from integrality."""
@@ -765,8 +781,8 @@ class BranchAndBoundSolver:
 
         Returns ``(bound in max sense, solution, raw result)`` or ``None``
         when infeasible. ``compiled.c`` is already negated for maximization
-        problems, so linprog always minimizes and ``-result.fun`` is the
-        max-sense bound.
+        problems, so linprog always minimizes and ``-result.fun`` plus the
+        objective's affine constant is the max-sense bound.
         """
         self.stats.lp_solves += 1
         result = linprog(
@@ -780,7 +796,7 @@ class BranchAndBoundSolver:
         )
         if not result.success:
             return None
-        return -result.fun, result.x, result
+        return -result.fun + self._obj_constant, result.x, result
 
     def _round_if_integer(self, value: float, is_integer: bool) -> float:
         return float(round(value)) if is_integer else float(value)

@@ -1,0 +1,54 @@
+"""Online dynamics: cluster churn, fault injection, and live replanning.
+
+The paper plans a placement once and serves a static cluster; this package
+closes the loop for clusters that lose nodes, degrade links, and gain
+capacity mid-flight. :mod:`repro.online.events` is the churn vocabulary
+(scripted schedules and seeded random generators);
+:mod:`repro.online.controller` reacts to each event with the repo's two
+incremental machines — a PR-1 :meth:`FlowGraph.reevaluate()
+<repro.flow.graph.FlowGraph.reevaluate>` flow rewrite for an immediate
+degraded-mode hot-swap, then a PR-2 warm-started incremental LNS
+:meth:`replan() <repro.placement.helix_milp.HelixMilpPlanner.replan>` whose
+repaired placement is swapped into the scheduler's IWRR selectors.
+
+Quickstart::
+
+    from repro.online import NodeFailure, OnlineController
+
+    controller = OnlineController(model, events=[NodeFailure(10.0, "l4-2")])
+    sim = Simulation(cluster, model, placement, scheduler, trace,
+                     seed=0, controller=controller)
+    metrics = sim.run()
+    print(controller.report(sim).summary())
+"""
+
+from repro.online.events import (
+    ClusterEvent,
+    NodeFailure,
+    NodeRecovery,
+    NodeJoin,
+    LinkDegradation,
+    LinkRecovery,
+    NetworkPartition,
+    PartitionHeal,
+    ChurnConfig,
+    random_churn,
+    scripted_schedule,
+)
+from repro.online.controller import OnlineController, ReplanRecord
+
+__all__ = [
+    "ClusterEvent",
+    "NodeFailure",
+    "NodeRecovery",
+    "NodeJoin",
+    "LinkDegradation",
+    "LinkRecovery",
+    "NetworkPartition",
+    "PartitionHeal",
+    "ChurnConfig",
+    "random_churn",
+    "scripted_schedule",
+    "OnlineController",
+    "ReplanRecord",
+]

@@ -1,0 +1,292 @@
+"""Timed cluster events: the vocabulary of online churn.
+
+An event is a frozen description of one environment change at one
+simulation time — a node crashing or rejoining, a new node being
+provisioned, a link degrading or being repaired, a partition between two
+node groups. Events know how to *apply* themselves to a running
+:class:`~repro.sim.simulator.Simulation` (via its online primitives) and
+whether the change warrants a replanning.
+
+Schedules come in two flavors:
+
+* scripted — hand-written event lists, for reproducing a precise scenario
+  (the fig12 "kill a planned node mid-run" benchmark);
+* generated — :func:`random_churn` draws failures/recoveries and link
+  degradations from exponential processes, for long stochastic soak runs.
+  Generators are pure functions of their seed, so a run is reproduced
+  exactly by its top-level seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.cluster.gpus import GPUSpec
+from repro.cluster.node import COORDINATOR
+from repro.core.units import GBIT
+
+
+@dataclass(frozen=True)
+class ClusterEvent:
+    """Base class: one environment change at ``time`` (seconds)."""
+
+    time: float
+
+    #: Whether the controller should replan after applying this event.
+    triggers_replan = True
+    #: Whether the event takes capacity away (failures, degradations,
+    #: partitions). Recovery-type events replan too but do not count as
+    #: disruptions in the :class:`~repro.sim.metrics.DisruptionReport`.
+    is_disruptive = True
+
+    def apply(self, sim) -> str:
+        """Apply the change to a running simulation; returns a log line."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class NodeFailure(ClusterEvent):
+    """A compute node crashes: KV lost, in-flight work fails."""
+
+    node_id: str = ""
+
+    def apply(self, sim) -> str:
+        requeued = sim.fail_node(self.node_id)
+        return (
+            f"node {self.node_id} failed "
+            f"({len(requeued)} in-flight requests requeued)"
+        )
+
+
+@dataclass(frozen=True)
+class NodeRecovery(ClusterEvent):
+    """A failed node rejoins, cold (no KV, no queued work)."""
+
+    node_id: str = ""
+    is_disruptive = False
+
+    def apply(self, sim) -> str:
+        sim.restore_node(self.node_id)
+        return f"node {self.node_id} recovered"
+
+
+@dataclass(frozen=True)
+class NodeJoin(ClusterEvent):
+    """A brand-new node is provisioned into the cluster.
+
+    The node is added to the topology with symmetric links to ``peers``
+    (default: every existing node) and to the coordinator; it carries no
+    layers until the next replanning assigns it some. Joins change graph
+    *structure*, so the controller rebuilds its incremental flow evaluator.
+
+    Attributes:
+        node_id: Id of the new node.
+        gpu: GPU model installed.
+        num_gpus: GPUs in the node.
+        region: Region label.
+        bandwidth: Bandwidth of the new links, bytes/second.
+        latency: One-way latency of the new links, seconds.
+        peers: Node ids to connect to; ``None`` means all current nodes.
+    """
+
+    node_id: str = ""
+    gpu: GPUSpec | None = None
+    num_gpus: int = 1
+    region: str = "default"
+    bandwidth: float = 10 * GBIT
+    latency: float = 0.001
+    peers: tuple[str, ...] | None = None
+
+    is_disruptive = False
+
+    def apply(self, sim) -> str:
+        if self.gpu is None:
+            raise ValueError(f"NodeJoin({self.node_id!r}) needs a gpu spec")
+        cluster = sim.cluster
+        peers = (
+            list(self.peers) if self.peers is not None else cluster.node_ids
+        )
+        cluster.add_node(
+            self.node_id, self.gpu, num_gpus=self.num_gpus, region=self.region
+        )
+        for peer in peers:
+            cluster.connect(self.node_id, peer, self.bandwidth, self.latency)
+        cluster.connect(
+            COORDINATOR, self.node_id, self.bandwidth, self.latency
+        )
+        return f"node {self.node_id} joined ({len(peers)} links)"
+
+
+@dataclass(frozen=True)
+class LinkDegradation(ClusterEvent):
+    """A link's bandwidth drops to ``factor`` of its original value."""
+
+    src: str = ""
+    dst: str = ""
+    factor: float = 0.1
+    bidirectional: bool = True
+
+    def apply(self, sim) -> str:
+        sim.degrade_link(self.src, self.dst, self.factor, self.bidirectional)
+        return (
+            f"link {self.src}<->{self.dst} degraded to "
+            f"{self.factor * 100:.0f}% bandwidth"
+        )
+
+
+@dataclass(frozen=True)
+class LinkRecovery(ClusterEvent):
+    """A degraded link is repaired to its original bandwidth."""
+
+    src: str = ""
+    dst: str = ""
+    bidirectional: bool = True
+    is_disruptive = False
+
+    def apply(self, sim) -> str:
+        sim.restore_link(self.src, self.dst, self.bidirectional)
+        return f"link {self.src}<->{self.dst} restored"
+
+
+@dataclass(frozen=True)
+class NetworkPartition(ClusterEvent):
+    """Connectivity between two node groups collapses.
+
+    Modeled as severe degradation (``factor`` of original bandwidth) of
+    every link crossing the cut, in both directions — traffic *can* still
+    crawl through, as over a flapping WAN, but replanning will route
+    around it. Heal with a matching :class:`PartitionHeal`.
+    """
+
+    group_a: tuple[str, ...] = ()
+    group_b: tuple[str, ...] = ()
+    factor: float = 0.02
+
+    def _cut_links(self, sim):
+        links = sim.cluster.links
+        for a in self.group_a:
+            for b in self.group_b:
+                if (a, b) in links:
+                    yield a, b
+                if (b, a) in links:
+                    yield b, a
+
+    def apply(self, sim) -> str:
+        count = 0
+        for a, b in self._cut_links(sim):
+            sim.degrade_link(a, b, self.factor, bidirectional=False)
+            count += 1
+        return (
+            f"partition {self.group_a}|{self.group_b}: {count} links at "
+            f"{self.factor * 100:.0f}% bandwidth"
+        )
+
+
+@dataclass(frozen=True)
+class PartitionHeal(NetworkPartition):
+    """Heal a partition created by a matching :class:`NetworkPartition`."""
+
+    is_disruptive = False
+
+    def apply(self, sim) -> str:
+        count = 0
+        for a, b in self._cut_links(sim):
+            sim.restore_link(a, b, bidirectional=False)
+            count += 1
+        return f"partition {self.group_a}|{self.group_b} healed ({count} links)"
+
+
+def scripted_schedule(*events: ClusterEvent) -> list[ClusterEvent]:
+    """Sort a hand-written scenario into firing order."""
+    return sorted(events, key=lambda e: e.time)
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Parameters of the seeded random churn generator.
+
+    Attributes:
+        duration: Horizon over which to draw events, in seconds.
+        mean_time_to_failure: Mean seconds between node failures across
+            the whole cluster (per-cluster MTBF, exponential).
+        mean_time_to_recovery: Mean seconds a failed node stays down
+            (exponential).
+        link_mean_time_to_degrade: Mean seconds between link-degradation
+            events; 0 disables link churn.
+        link_degradation_factor: Bandwidth factor applied when a link
+            degrades.
+        link_mean_time_to_repair: Mean seconds a degraded link stays slow.
+        max_concurrent_failures: Never take more than this many nodes down
+            at once (a churn run should stress recovery, not guarantee a
+            dead cluster).
+        start: Earliest event time — leave room for a clean pre-churn
+            baseline window.
+    """
+
+    duration: float
+    mean_time_to_failure: float
+    mean_time_to_recovery: float
+    link_mean_time_to_degrade: float = 0.0
+    link_degradation_factor: float = 0.1
+    link_mean_time_to_repair: float = 20.0
+    max_concurrent_failures: int = 1
+    start: float = 0.0
+
+
+def random_churn(
+    node_ids: Sequence[str],
+    config: ChurnConfig,
+    seed: int = 0,
+    link_keys: Sequence[tuple[str, str]] = (),
+) -> list[ClusterEvent]:
+    """Draw a reproducible churn schedule from exponential processes.
+
+    Node failures arrive at the cluster-wide MTBF rate, strike a uniformly
+    random up node, and heal after an exponential downtime; link
+    degradations (if enabled and ``link_keys`` given) follow the same
+    pattern on uniformly random links. The same ``(config, seed)`` always
+    yields the same schedule.
+    """
+    if not node_ids:
+        raise ValueError("random_churn needs at least one node id")
+    rng = random.Random(seed)
+    events: list[ClusterEvent] = []
+
+    down_until: dict[str, float] = {}
+    t = config.start
+    while True:
+        t += rng.expovariate(1.0 / config.mean_time_to_failure)
+        if t >= config.start + config.duration:
+            break
+        up = [nid for nid in node_ids if down_until.get(nid, 0.0) <= t]
+        if len(node_ids) - len(up) >= config.max_concurrent_failures or not up:
+            continue
+        victim = rng.choice(up)
+        recover_at = t + rng.expovariate(1.0 / config.mean_time_to_recovery)
+        down_until[victim] = recover_at
+        events.append(NodeFailure(t, victim))
+        events.append(NodeRecovery(recover_at, victim))
+
+    if config.link_mean_time_to_degrade > 0 and link_keys:
+        slow_until: dict[tuple[str, str], float] = {}
+        t = config.start
+        while True:
+            t += rng.expovariate(1.0 / config.link_mean_time_to_degrade)
+            if t >= config.start + config.duration:
+                break
+            healthy = [k for k in link_keys if slow_until.get(k, 0.0) <= t]
+            if not healthy:
+                continue
+            src, dst = healthy[rng.randrange(len(healthy))]
+            repair_at = t + rng.expovariate(
+                1.0 / config.link_mean_time_to_repair
+            )
+            slow_until[(src, dst)] = repair_at
+            events.append(
+                LinkDegradation(t, src, dst, config.link_degradation_factor)
+            )
+            events.append(LinkRecovery(repair_at, src, dst))
+
+    return sorted(events, key=lambda e: e.time)

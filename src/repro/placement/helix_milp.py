@@ -148,6 +148,10 @@ class HelixMilpPlanner(PlacementPlanner):
         self.last_solver_stats = None  # set by the bnb backend
         #: Telemetry: MILP solve calls issued during the last plan().
         self.milp_solve_count = 0
+        # Formulation reused across replan() calls (the LNS rounds only
+        # tighten bounds and append/truncate constraints, so the compiled
+        # structure cache stays valid between calls).
+        self._replan_formulation: MilpFormulation | None = None
 
     # ------------------------------------------------------------------
     # Formulation (Tables 5 and 6)
@@ -694,6 +698,93 @@ class HelixMilpPlanner(PlacementPlanner):
             placement=placement,
             flow=flow,
             milp=solution,
+            num_variables=formulation.problem.num_variables,
+            num_constraints=formulation.problem.num_constraints,
+            solve_time=time.perf_counter() - start,
+        )
+
+    def replan(
+        self,
+        base: ModelPlacement | None = None,
+        lns_rounds: int | None = None,
+    ) -> PlannerResult:
+        """Warm-started incremental re-plan around an incumbent placement.
+
+        The online controller's entry point after cluster churn: instead of
+        a root MILP solve, start from ``base`` (typically the pre-failure
+        placement restricted to surviving nodes) and run only the PR-2
+        incremental LNS loop — bounds-tightened re-solves on the cached
+        compiled formulation — around it. When ``base`` is missing or can no
+        longer serve (a failed node held irreplaceable layers), the best
+        heuristic hint seeds the search instead.
+
+        Args:
+            base: Incumbent placement to improve; node ids outside this
+                planner's cluster are ignored.
+            lns_rounds: LNS round count for this replan (default: the
+                planner's ``lns_rounds``, but at least one round).
+
+        Returns:
+            A :class:`PlannerResult` whose flow solution is ready to be
+            hot-swapped into a scheduler.
+
+        Raises:
+            PlacementError: When neither ``base`` nor any heuristic produces
+                a servable placement on the current cluster.
+        """
+        start = time.perf_counter()
+        self.milp_solve_count = 0
+        work_cluster = self.cluster
+        if self.prune_degree is not None:
+            work_cluster = prune_cluster(self.cluster, self.prune_degree)
+        if self._replan_formulation is None:
+            self._replan_formulation = self.build_formulation(work_cluster)
+        formulation = self._replan_formulation
+
+        candidates: list[ModelPlacement] = []
+        if base is not None:
+            kept = {
+                nid: (stage.start, stage.end)
+                for nid, stage in base.assignments.items()
+                if nid in work_cluster
+            }
+            if kept:
+                candidates.append(
+                    ModelPlacement.from_intervals(self.model.num_layers, kept)
+                )
+        incumbent: tuple[float, ModelPlacement] | None = None
+        for candidate in candidates:
+            value = self._placement_value(candidate, work_cluster)
+            if value > 0:
+                incumbent = (value, candidate)
+        if incumbent is None:
+            # The base cannot serve anymore; reseed from the heuristics.
+            for hint in self.heuristic_hints(work_cluster):
+                value = self._placement_value(hint, work_cluster)
+                if value > 0 and (incumbent is None or value > incumbent[0]):
+                    incumbent = (value, hint)
+        if incumbent is None:
+            raise PlacementError(
+                "no servable placement exists on the surviving cluster"
+            )
+
+        rounds = max(1, self.lns_rounds if lns_rounds is None else lns_rounds)
+        saved_rounds = self.lns_rounds
+        self.lns_rounds = rounds
+        try:
+            placement = self._lns_improve(
+                formulation, work_cluster, incumbent[1]
+            )
+        finally:
+            self.lns_rounds = saved_rounds
+        if self._placement_value(placement) < self._placement_value(incumbent[1]):
+            placement = incumbent[1]
+
+        flow = self.solve_flow(placement)
+        return PlannerResult(
+            planner_name=self.name,
+            placement=placement,
+            flow=flow,
             num_variables=formulation.problem.num_variables,
             num_constraints=formulation.problem.num_constraints,
             solve_time=time.perf_counter() - start,

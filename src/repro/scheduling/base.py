@@ -102,6 +102,7 @@ class Scheduler(abc.ABC):
         self.model = model
         self.placement = placement
         self.profiler = profiler or Profiler()
+        self.partial_inference = partial_inference
         self.topology = TopologyGraph(cluster, placement, partial_inference)
         self.kv_masking = kv_masking
 
@@ -118,6 +119,8 @@ class Scheduler(abc.ABC):
             high_water_mark=kv_high_water_mark,
         )
         self.outstanding: dict[str, int] = {nid: 0 for nid in placement.used_nodes}
+        #: Nodes currently down; masked from every pipeline walk.
+        self.down_nodes: set[str] = set()
         self._active: dict[str, RequestPipeline] = {}
         self._active_input_len: dict[str, int] = {}
 
@@ -153,7 +156,9 @@ class Scheduler(abc.ABC):
             candidates = [
                 nid
                 for nid in self.topology.node_successors(current)
-                if nid not in visited and self._admits(nid, input_len)
+                if nid not in visited
+                and nid not in self.down_nodes
+                and self._admits(nid, input_len)
             ]
             chosen = self._choose_next(current, candidates, input_len)
             if chosen is None:
@@ -195,10 +200,53 @@ class Scheduler(abc.ABC):
                 0, self.outstanding.get(stage.node_id, 0) - 1
             )
 
+    def notify_failed(self, request_id: str) -> None:
+        """Release a *failed* request's charges so it can be rescheduled.
+
+        Same bookkeeping as :meth:`notify_finished` — the request stops
+        occupying its pipeline — but named separately so online callers read
+        correctly and policies can distinguish the two if they need to.
+        """
+        self.notify_finished(request_id)
+
     def notify_node_progress(
         self, node_id: str, tokens: float, elapsed: float
     ) -> None:
         """Observe a node finishing work (used by throughput-based policies)."""
+
+    # ------------------------------------------------------------------
+    # Online dynamics (driven by the controller/simulator)
+    # ------------------------------------------------------------------
+    def mark_node_down(self, node_id: str) -> None:
+        """Mask a failed node out of every future pipeline walk."""
+        self.down_nodes.add(node_id)
+
+    def mark_node_up(self, node_id: str) -> None:
+        """Lift a node's failure mask."""
+        self.down_nodes.discard(node_id)
+
+    def apply_placement(self, placement: ModelPlacement, flow=None) -> None:
+        """Hot-swap a replanned placement without dropping in-flight state.
+
+        Rebuilds the topology graph and per-node KV capacities for the new
+        placement while preserving active-request charges and outstanding
+        counts — the live analogue of constructing a fresh scheduler.
+        Subclasses that route from a flow solution override this to also
+        rebuild their selectors (``flow`` is ignored here).
+        """
+        placement.validate()
+        self.placement = placement
+        self.topology = TopologyGraph(
+            self.cluster, placement, self.partial_inference
+        )
+        for node_id in placement.used_nodes:
+            node = self.cluster.node(node_id)
+            stage = placement.interval(node_id)
+            self.kv.set_capacity(
+                node_id,
+                self.profiler.kv_capacity(node, self.model, stage.num_layers),
+            )
+            self.outstanding.setdefault(node_id, 0)
 
     @property
     def active_requests(self) -> int:

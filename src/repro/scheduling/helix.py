@@ -39,14 +39,36 @@ class HelixScheduler(Scheduler):
             )
         self.flow = flow
         self._selectors: dict[str, InterleavedWeightedRoundRobin] = {}
+        self._rebuild_selectors()
+
+    def _rebuild_selectors(self) -> None:
+        """Derive fresh IWRR selectors from the current flow solution."""
+        self._selectors = {}
         for vertex in [COORDINATOR] + self.placement.used_nodes:
             weights = {}
             for successor in self.topology.node_successors(vertex):
-                value = flow.connection_flows.get((vertex, successor), 0.0)
+                value = self.flow.connection_flows.get((vertex, successor), 0.0)
                 if value > _FLOW_EPSILON:
                     weights[successor] = value
             if weights:
                 self._selectors[vertex] = InterleavedWeightedRoundRobin(weights)
+
+    def apply_placement(self, placement, flow: FlowSolution | None = None) -> None:
+        """Hot-swap a replanned placement plus its max-flow solution.
+
+        The new flow's per-connection values become fresh IWRR weights
+        (selector credits reset — the old interleaving state is meaningless
+        under new weights); in-flight requests keep their old pipelines and
+        drain normally.
+        """
+        if flow is not None:
+            if flow.max_flow <= 0:
+                raise SchedulingError(
+                    "max-flow solution carries no flow; placement cannot serve"
+                )
+            self.flow = flow
+        super().apply_placement(placement)
+        self._rebuild_selectors()
 
     def _choose_next(
         self, current: str, candidates: list[str], input_len: int

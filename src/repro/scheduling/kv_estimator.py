@@ -83,3 +83,18 @@ class KVCacheEstimator:
         """KV token capacity of a node (0 when unknown)."""
         state = self._nodes.get(node_id)
         return state.capacity_tokens if state is not None else 0
+
+    def set_capacity(self, node_id: str, capacity: int) -> None:
+        """Re-bind a node's capacity, preserving its outstanding estimate.
+
+        Used when a live replanning changes how many layers a node holds
+        (its KV partition resizes) or adds a node mid-serving; charges from
+        in-flight requests must survive the swap.
+        """
+        state = self._nodes.get(node_id)
+        if state is None:
+            self._nodes[node_id] = _NodeKVState(
+                capacity_tokens=max(0, int(capacity))
+            )
+        else:
+            state.capacity_tokens = max(0, int(capacity))

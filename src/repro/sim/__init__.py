@@ -18,7 +18,14 @@ from repro.sim.request import Request
 from repro.sim.kv_cache import KVCachePool
 from repro.sim.network_sim import LinkChannel
 from repro.sim.node_exec import NodeExecutor, StageWork
-from repro.sim.metrics import RequestRecord, ServingMetrics, LatencyStats
+from repro.sim.metrics import (
+    RequestRecord,
+    ServingMetrics,
+    LatencyStats,
+    DisruptionReport,
+    disruption_report,
+    goodput_timeline,
+)
 from repro.sim.simulator import Simulation
 
 __all__ = [
@@ -30,5 +37,8 @@ __all__ = [
     "RequestRecord",
     "ServingMetrics",
     "LatencyStats",
+    "DisruptionReport",
+    "disruption_report",
+    "goodput_timeline",
     "Simulation",
 ]

@@ -17,7 +17,14 @@ from dataclasses import dataclass, field
 
 @dataclass
 class RequestRecord:
-    """Lifecycle timestamps of one simulated request."""
+    """Lifecycle timestamps of one simulated request.
+
+    Under online dynamics a request may be disrupted — its node failed or a
+    replanning migrated it off a repartitioned node — and restart from the
+    pending queue. ``retries``/``migrations`` count those restarts and
+    ``tokens_lost`` the output tokens the failed attempts had already
+    emitted; the latency/token fields always describe the final attempt.
+    """
 
     request_id: str
     input_len: int
@@ -28,6 +35,9 @@ class RequestRecord:
     finish_time: float = math.nan
     tokens_generated: int = 0
     token_times: list[float] = field(default_factory=list)
+    retries: int = 0
+    migrations: int = 0
+    tokens_lost: int = 0
 
     @property
     def finished(self) -> bool:
@@ -103,6 +113,12 @@ class ServingMetrics:
         kv_overflow_events: Total KV-pool overflows across nodes (should be
             zero when the scheduler's masking works).
         avg_pipeline_depth: Mean pipeline depth across finished requests.
+        requests_retried: Requests restarted at least once after a node
+            failure (online dynamics).
+        requests_migrated: Requests restarted at least once because a
+            replanning invalidated their pipeline.
+        tokens_lost: Output tokens emitted by attempts that were later
+            disrupted (wasted work).
     """
 
     decode_throughput: float
@@ -114,6 +130,9 @@ class ServingMetrics:
     decode_tokens: int
     kv_overflow_events: int
     avg_pipeline_depth: float
+    requests_retried: int = 0
+    requests_migrated: int = 0
+    tokens_lost: int = 0
 
     def summary(self) -> str:
         """One-line report string."""
@@ -166,4 +185,177 @@ def aggregate_metrics(
         avg_pipeline_depth=(
             sum(pipeline_depths) / len(pipeline_depths) if pipeline_depths else 0.0
         ),
+        requests_retried=sum(1 for r in records if r.retries > 0),
+        requests_migrated=sum(1 for r in records if r.migrations > 0),
+        tokens_lost=sum(r.tokens_lost for r in records),
+    )
+
+
+# ----------------------------------------------------------------------
+# Disruption metrics (online dynamics)
+# ----------------------------------------------------------------------
+def goodput_timeline(
+    token_times: list[float],
+    window: float,
+    end_time: float,
+    start: float = 0.0,
+) -> list[tuple[float, float]]:
+    """Windowed goodput: tokens/second per ``window``-second bucket.
+
+    ``token_times`` are token emission times — normally the simulator's
+    append-only :attr:`~repro.sim.simulator.Simulation.token_timeline`, so
+    the curve shows the true served rate (the dip around a failure, the
+    recovery after replanning). Returns ``(bucket_start, tokens_per_second)``
+    rows covering ``[start, end_time)``; the trailing partial bucket is
+    dropped so every row is normalized by the same window length.
+    """
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    num_buckets = int((end_time - start) / window)
+    if num_buckets <= 0:
+        return []
+    counts = [0] * num_buckets
+    for t in token_times:
+        if t < start:  # int() truncates toward zero: -0.5 would bucket to 0
+            continue
+        index = int((t - start) / window)
+        if index < num_buckets:
+            counts[index] += 1
+    return [
+        (start + i * window, counts[i] / window) for i in range(num_buckets)
+    ]
+
+
+@dataclass(frozen=True)
+class DisruptionReport:
+    """How serving behaved across failures and replannings.
+
+    Attributes:
+        window: Bucket width of the goodput timeline, in seconds.
+        timeline: ``(bucket_start, tokens/s)`` goodput rows.
+        pre_disruption_goodput: Mean windowed goodput before the first
+            disruption (ramp-up bucket excluded).
+        post_recovery_goodput: Mean windowed goodput after the last
+            recovery action settled.
+        recovery_ratio: ``post / pre`` — the throughput-recovery ratio.
+        time_to_recovery: Seconds from the first disruption until windowed
+            goodput first regained ``recovery_threshold`` of its
+            pre-disruption level (NaN if it never did).
+        recovery_threshold: The fraction defining recovery.
+        requests_retried: Requests restarted by node failures.
+        requests_migrated: Requests restarted by replannings.
+        tokens_lost: Output tokens wasted by disrupted attempts.
+        replan_count: Replannings applied.
+        replan_latency_mean: Mean replanning wall-clock latency in seconds
+            (NaN when no replanning ran).
+        replan_latency_max: Worst replanning latency (NaN when none ran).
+    """
+
+    window: float
+    timeline: tuple[tuple[float, float], ...]
+    pre_disruption_goodput: float
+    post_recovery_goodput: float
+    recovery_ratio: float
+    time_to_recovery: float
+    recovery_threshold: float
+    requests_retried: int
+    requests_migrated: int
+    tokens_lost: int
+    replan_count: int
+    replan_latency_mean: float
+    replan_latency_max: float
+
+    def summary(self) -> str:
+        """One-line report string."""
+        return (
+            f"goodput {self.pre_disruption_goodput:.0f} -> "
+            f"{self.post_recovery_goodput:.0f} tok/s "
+            f"(recovery {self.recovery_ratio * 100:.0f}%) | "
+            f"{self.requests_retried} retried, "
+            f"{self.requests_migrated} migrated, "
+            f"{self.tokens_lost} tokens lost | "
+            f"{self.replan_count} replan(s), "
+            f"worst {self.replan_latency_max:.2f}s"
+        )
+
+
+def disruption_report(
+    token_times: list[float],
+    window: float,
+    end_time: float,
+    first_disruption: float,
+    recovered_from: float,
+    *,
+    requests_retried: int = 0,
+    requests_migrated: int = 0,
+    tokens_lost: int = 0,
+    replan_latencies: list[float] | None = None,
+    recovery_threshold: float = 0.7,
+    settle: float | None = None,
+) -> DisruptionReport:
+    """Assemble a :class:`DisruptionReport` from a run's raw timeline.
+
+    Args:
+        token_times: Useful-token emission times (simulator timeline).
+        window: Goodput bucket width in seconds.
+        end_time: End of the measurement horizon.
+        first_disruption: Time of the first disruptive event.
+        recovered_from: Time the last recovery action (replan/repair) took
+            effect; the post window starts ``settle`` seconds later.
+        requests_retried / requests_migrated / tokens_lost: Counters from
+            :class:`ServingMetrics`.
+        replan_latencies: Wall-clock seconds of each replanning.
+        recovery_threshold: Goodput fraction defining "recovered".
+        settle: Seconds after ``recovered_from`` excluded from the post
+            window (default: one window).
+    """
+    timeline = goodput_timeline(token_times, window, end_time)
+    settle = window if settle is None else settle
+
+    # Pre window: full buckets strictly before the disruption, skipping the
+    # first bucket (prompt-phase ramp-up would understate steady goodput).
+    pre = [
+        rate
+        for start, rate in timeline[1:]
+        if start + window <= first_disruption
+    ]
+    post = [
+        rate
+        for start, rate in timeline
+        if start >= recovered_from + settle
+    ]
+    pre_goodput = sum(pre) / len(pre) if pre else math.nan
+    post_goodput = sum(post) / len(post) if post else math.nan
+    ratio = (
+        post_goodput / pre_goodput
+        if pre_goodput and not math.isnan(pre_goodput)
+        and not math.isnan(post_goodput)
+        else math.nan
+    )
+
+    time_to_recovery = math.nan
+    if pre_goodput and not math.isnan(pre_goodput):
+        bar = recovery_threshold * pre_goodput
+        for start, rate in timeline:
+            if start >= first_disruption and rate >= bar:
+                time_to_recovery = max(0.0, start - first_disruption)
+                break
+
+    latencies = list(replan_latencies or [])
+    return DisruptionReport(
+        window=window,
+        timeline=tuple(timeline),
+        pre_disruption_goodput=pre_goodput,
+        post_recovery_goodput=post_goodput,
+        recovery_ratio=ratio,
+        time_to_recovery=time_to_recovery,
+        recovery_threshold=recovery_threshold,
+        requests_retried=requests_retried,
+        requests_migrated=requests_migrated,
+        tokens_lost=tokens_lost,
+        replan_count=len(latencies),
+        replan_latency_mean=(
+            sum(latencies) / len(latencies) if latencies else math.nan
+        ),
+        replan_latency_max=max(latencies) if latencies else math.nan,
     )

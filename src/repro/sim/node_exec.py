@@ -29,6 +29,8 @@ class StageWork:
             the prompt phase, 1 during decode).
         num_layers: Layers this stage computes for the request.
         is_prompt: Whether this is the prompt-phase iteration.
+        attempt: The owning request's attempt number; work minted by a
+            disrupted attempt is dropped when its batch completes.
     """
 
     request_id: str
@@ -36,6 +38,7 @@ class StageWork:
     num_tokens: int
     num_layers: int
     is_prompt: bool
+    attempt: int = 0
 
     @property
     def token_layers(self) -> float:

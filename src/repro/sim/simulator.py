@@ -14,14 +14,23 @@ scheduler, and a request trace, then plays the serving system forward:
 
 Nodes batch dynamically (everything queued joins the next batch), links
 are FIFO bandwidth/latency queues, and KV pools track true occupancy.
+
+The loop also supports *online dynamics* (the ``repro.online`` package):
+environment events scheduled with :meth:`Simulation.schedule_event` can
+fail and restore nodes, degrade links, and hot-swap a replanned placement
+mid-run. Request attempts are versioned so work belonging to a disrupted
+attempt — in-flight activations, queued batches, pending completions — is
+dropped cleanly when the request re-enters the pending queue.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.node import COORDINATOR
@@ -42,8 +51,10 @@ class _ActiveRequest:
     request: Request
     pipeline: RequestPipeline
     record: RequestRecord
-    iterations_started: int = 0  # 1 = prompt, then decode iterations
-    kv_tokens_per_node: int = 0
+    attempt: int = 0
+    # Tokens of KV the attempt has actually allocated on each node; freed
+    # exactly on finish or disruption.
+    kv_per_node: dict[str, int] = field(default_factory=dict)
 
 
 class Simulation:
@@ -61,6 +72,13 @@ class Simulation:
         max_time: Simulation horizon in seconds; events beyond it are not
             processed.
         warmup: Seconds excluded from the measurement window.
+        seed: Top-level seed recorded for the run. The simulation itself is
+            deterministic; thread the *same* seed into the trace and churn
+            generators (``random_churn(..., seed=...)``) so one value
+            reproduces an entire dynamic run exactly.
+        controller: Optional online controller (see
+            :class:`repro.online.OnlineController`); its ``start(sim)`` is
+            called once before the event loop to inject environment events.
     """
 
     def __init__(
@@ -74,6 +92,8 @@ class Simulation:
         max_batch_tokens: int | None = 16384,
         max_time: float = 3600.0,
         warmup: float = 0.0,
+        seed: int | None = None,
+        controller=None,
     ) -> None:
         if not requests:
             raise SimulationError("request trace is empty")
@@ -84,22 +104,16 @@ class Simulation:
         self.profiler = profiler or Profiler()
         self.max_time = max_time
         self.warmup = warmup
+        self.max_batch_tokens = max_batch_tokens
+        self.seed = seed
+        self.controller = controller
 
         self.requests = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
+        self._node_epoch: dict[str, int] = {nid: 0 for nid in cluster.node_ids}
         self.executors: dict[str, NodeExecutor] = {}
         self.kv_pools: dict[str, KVCachePool] = {}
         for node_id in placement.used_nodes:
-            node = cluster.node(node_id)
-            stage = placement.interval(node_id)
-            self.executors[node_id] = NodeExecutor(
-                node, model, self.profiler, stage.num_layers, max_batch_tokens
-            )
-            self.kv_pools[node_id] = KVCachePool(
-                node_id=node_id,
-                capacity_tokens=self.profiler.kv_capacity(
-                    node, model, stage.num_layers
-                ),
-            )
+            self._bind_node(node_id)
         self.channels: dict[tuple[str, str], LinkChannel] = {
             key: LinkChannel(link) for key, link in cluster.links.items()
         }
@@ -112,6 +126,35 @@ class Simulation:
         self._records: dict[str, RequestRecord] = {}
         self._pipeline_depths: list[int] = []
         self._last_token_time = 0.0
+        self._token_timeline: list[float] = []
+        self._down_nodes: set[str] = set()
+        self._base_bandwidth: dict[tuple[str, str], float] = {}
+        for node_id in cluster.down_node_ids:
+            self._down_nodes.add(node_id)
+            self.scheduler.mark_node_down(node_id)
+
+    def _bind_node(self, node_id: str) -> None:
+        """Create (or re-create) the executor and KV pool for a used node."""
+        node = self.cluster.node(node_id)
+        stage = self.placement.interval(node_id)
+        self.executors[node_id] = NodeExecutor(
+            node, self.model, self.profiler, stage.num_layers,
+            self.max_batch_tokens,
+        )
+        pool = KVCachePool(
+            node_id=node_id,
+            capacity_tokens=self.profiler.kv_capacity(
+                node, self.model, stage.num_layers
+            ),
+        )
+        old_pool = self.kv_pools.get(node_id)
+        if old_pool is not None:
+            # Overflow/peak history is a run-level statistic (metrics sum
+            # over current pools); a rebind must not erase it.
+            pool.overflow_events = old_pool.overflow_events
+            pool.peak_tokens = old_pool.peak_tokens
+        self.kv_pools[node_id] = pool
+        self._node_epoch.setdefault(node_id, 0)
 
     # ------------------------------------------------------------------
     # Event plumbing
@@ -123,8 +166,21 @@ class Simulation:
             )
         heapq.heappush(self._events, (when, next(self._seq), kind, payload))
 
+    def schedule_event(
+        self, when: float, fn: Callable[["Simulation"], None]
+    ) -> None:
+        """Schedule an environment callback ``fn(sim)`` at time ``when``.
+
+        This is how online controllers inject cluster churn — node
+        failures, recoveries, link degradations, replan applications —
+        into the event loop.
+        """
+        self._push(when, "env", fn)
+
     def run(self) -> ServingMetrics:
         """Play the trace and return aggregate metrics."""
+        if self.controller is not None:
+            self.controller.start(self)
         for request in self.requests:
             self._push(request.arrival_time, "arrival", request)
 
@@ -140,7 +196,9 @@ class Simulation:
             elif kind == "batch":
                 self._on_batch_complete(*payload)
             elif kind == "token":
-                self._on_token(payload)
+                self._on_token(*payload)
+            elif kind == "env":
+                payload(self)
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown event kind {kind!r}")
 
@@ -176,9 +234,11 @@ class Simulation:
             return False
         record = self._records[request.request_id]
         record.schedule_time = self._now
-        active = _ActiveRequest(request=request, pipeline=pipeline, record=record)
+        attempt = record.retries + record.migrations
+        active = _ActiveRequest(
+            request=request, pipeline=pipeline, record=record, attempt=attempt
+        )
         self._active[request.request_id] = active
-        self._pipeline_depths.append(pipeline.depth)
         self._start_iteration(active, is_prompt=True)
         return True
 
@@ -190,12 +250,15 @@ class Simulation:
             self._pending.popleft()
 
     def _start_iteration(self, active: _ActiveRequest, is_prompt: bool) -> None:
-        active.iterations_started += 1
         first_node = active.pipeline.stages[0].node_id
         num_tokens = active.request.input_len if is_prompt else 1
         message_bytes = num_tokens * self.model.token_bytes
         arrival = self._transmit(COORDINATOR, first_node, message_bytes)
-        self._push(arrival, "stage", (active.request.request_id, 0, is_prompt))
+        self._push(
+            arrival,
+            "stage",
+            (active.request.request_id, active.attempt, 0, is_prompt),
+        )
 
     def _transmit(self, src: str, dst: str, num_bytes: float) -> float:
         channel = self.channels.get((src, dst))
@@ -203,12 +266,27 @@ class Simulation:
             raise SimulationError(f"no link {src!r}->{dst!r} for transmission")
         return channel.transmit(self._now, num_bytes)
 
-    def _on_stage_arrival(
-        self, request_id: str, stage_index: int, is_prompt: bool
-    ) -> None:
+    def _live_attempt(self, request_id: str, attempt: int) -> _ActiveRequest | None:
+        """The active request iff ``attempt`` is its current attempt.
+
+        Events minted by a disrupted attempt keep arriving after the
+        request was requeued (and possibly rescheduled); they must be
+        dropped, not applied to the new attempt. Truly unknown ids still
+        raise — that would be a simulator bug.
+        """
         active = self._active.get(request_id)
+        if active is not None and active.attempt == attempt:
+            return active
+        if request_id not in self._records:
+            raise SimulationError(f"event for unknown request {request_id!r}")
+        return None
+
+    def _on_stage_arrival(
+        self, request_id: str, attempt: int, stage_index: int, is_prompt: bool
+    ) -> None:
+        active = self._live_attempt(request_id, attempt)
         if active is None:
-            raise SimulationError(f"stage arrival for unknown request {request_id!r}")
+            return  # stale: the attempt was disrupted mid-flight
         stage = active.pipeline.stages[stage_index]
         num_tokens = active.request.input_len if is_prompt else 1
         work = StageWork(
@@ -217,6 +295,7 @@ class Simulation:
             num_tokens=num_tokens,
             num_layers=stage.num_layers,
             is_prompt=is_prompt,
+            attempt=attempt,
         )
         executor = self.executors[stage.node_id]
         executor.enqueue(work)
@@ -231,11 +310,17 @@ class Simulation:
             return
         executor.busy = True
         elapsed = executor.batch_time(batch)
-        self._push(self._now + elapsed, "batch", (node_id, batch, elapsed))
+        self._push(
+            self._now + elapsed,
+            "batch",
+            (node_id, self._node_epoch[node_id], batch, elapsed),
+        )
 
     def _on_batch_complete(
-        self, node_id: str, batch: list[StageWork], elapsed: float
+        self, node_id: str, epoch: int, batch: list[StageWork], elapsed: float
     ) -> None:
+        if epoch != self._node_epoch[node_id]:
+            return  # the node failed while this batch was executing
         executor = self.executors[node_id]
         executor.busy = False
         executor.record_batch(batch, elapsed)
@@ -244,11 +329,14 @@ class Simulation:
 
         for work in batch:
             active = self._active.get(work.request_id)
-            if active is None:
-                continue  # finished early under max_time truncation
+            if active is None or active.attempt != work.attempt:
+                continue  # finished under max_time truncation, or disrupted
             # KV grows on this node: the whole prompt once, then one token
             # per decode iteration.
             self.kv_pools[node_id].allocate(work.num_tokens)
+            active.kv_per_node[node_id] = (
+                active.kv_per_node.get(node_id, 0) + work.num_tokens
+            )
             next_index = work.stage_index + 1
             if next_index < active.pipeline.depth:
                 next_node = active.pipeline.stages[next_index].node_id
@@ -257,27 +345,28 @@ class Simulation:
                 self._push(
                     arrival,
                     "stage",
-                    (work.request_id, next_index, work.is_prompt),
+                    (work.request_id, work.attempt, next_index, work.is_prompt),
                 )
             else:
                 arrival = self._transmit(
                     node_id, COORDINATOR, self.model.token_bytes
                 )
-                self._push(arrival, "token", work.request_id)
+                self._push(arrival, "token", (work.request_id, work.attempt))
 
         if executor.has_work():
             self._start_batch(node_id)
 
-    def _on_token(self, request_id: str) -> None:
-        active = self._active.get(request_id)
+    def _on_token(self, request_id: str, attempt: int) -> None:
+        active = self._live_attempt(request_id, attempt)
         if active is None:
-            raise SimulationError(f"token for unknown request {request_id!r}")
+            return
         record = active.record
         if not record.token_times:
             record.first_token_time = self._now
         record.token_times.append(self._now)
         record.tokens_generated += 1
         self._last_token_time = self._now
+        self._token_timeline.append(self._now)
 
         if record.tokens_generated >= active.request.output_len:
             self._finish(active)
@@ -287,14 +376,235 @@ class Simulation:
     def _finish(self, active: _ActiveRequest) -> None:
         record = active.record
         record.finish_time = self._now
-        # Each pipeline node stored the prompt plus one token per decode
-        # iteration processed there.
-        tokens_per_node = active.request.input_len + (active.iterations_started - 1)
-        for stage in active.pipeline.stages:
-            self.kv_pools[stage.node_id].free(tokens_per_node)
+        # Recorded on finish, not on schedule: disrupted attempts' pipelines
+        # must not contaminate the finished-request depth average.
+        self._pipeline_depths.append(active.pipeline.depth)
+        for node_id, tokens in active.kv_per_node.items():
+            self.kv_pools[node_id].free(tokens)
         del self._active[active.request.request_id]
         self.scheduler.notify_finished(active.request.request_id)
         self._retry_pending()
+
+    # ------------------------------------------------------------------
+    # Online dynamics: failures, repairs, and live replanning
+    # ------------------------------------------------------------------
+    def _requeue(self, active: _ActiveRequest, migrated: bool) -> None:
+        """Abort an attempt and send the request back to the pending queue.
+
+        The attempt's tokens become wasted work, its KV charges on
+        surviving nodes are released (the failed node's pool was flushed
+        wholesale), and the attempt counter bump makes every event the old
+        attempt still has in flight fall on the floor.
+        """
+        record = active.record
+        record.tokens_lost += record.tokens_generated
+        if migrated:
+            record.migrations += 1
+        else:
+            record.retries += 1
+        record.tokens_generated = 0
+        record.token_times = []
+        record.first_token_time = math.nan
+        record.schedule_time = math.nan
+        for node_id, tokens in active.kv_per_node.items():
+            if node_id not in self._down_nodes and node_id in self.kv_pools:
+                self.kv_pools[node_id].free(tokens)
+        del self._active[active.request.request_id]
+        self.scheduler.notify_failed(active.request.request_id)
+        self._pending.append(active.request)
+
+    def fail_node(self, node_id: str) -> list[str]:
+        """A node crashes: its KV state is lost and its work fails.
+
+        Everything the node was doing dies with it — queued stage work is
+        dropped, the in-flight batch (if any) never completes, and every
+        request whose pipeline routes through the node is requeued for a
+        fresh scheduling attempt on the surviving topology. The scheduler
+        masks the node until :meth:`restore_node`.
+
+        Returns the ids of the requeued requests.
+        """
+        self.cluster.node(node_id)  # referential check
+        if node_id in self._down_nodes:
+            return []
+        self.cluster.set_node_available(node_id, False)
+        self._down_nodes.add(node_id)
+        self.scheduler.mark_node_down(node_id)
+        # .get: a joined node that never entered a placement has no epoch yet.
+        self._node_epoch[node_id] = self._node_epoch.get(node_id, 0) + 1
+
+        executor = self.executors.get(node_id)
+        if executor is not None:
+            executor.queue.clear()
+            executor.busy = False
+        pool = self.kv_pools.get(node_id)
+        if pool is not None:
+            pool.used_tokens = 0  # KV state is gone
+
+        requeued = [
+            rid
+            for rid, active in self._active.items()
+            if node_id in active.pipeline.node_ids
+        ]
+        for rid in requeued:
+            self._requeue(self._active[rid], migrated=False)
+        self._retry_pending()
+        return requeued
+
+    def restore_node(self, node_id: str) -> None:
+        """A failed node rejoins (cold: empty KV, empty queue)."""
+        self.cluster.node(node_id)
+        if node_id not in self._down_nodes:
+            return
+        self.cluster.set_node_available(node_id, True)
+        self._down_nodes.discard(node_id)
+        self.scheduler.mark_node_up(node_id)
+        pool = self.kv_pools.get(node_id)
+        if pool is not None:
+            pool.used_tokens = 0
+        self._retry_pending()
+
+    def degrade_link(
+        self, src: str, dst: str, factor: float, bidirectional: bool = True
+    ) -> None:
+        """Scale a link's bandwidth to ``factor`` of its original value.
+
+        Affects every future transmission (in-flight messages keep their
+        already-computed arrival times, like packets already on the wire)
+        and, through :meth:`~repro.flow.graph.FlowGraph.refresh_links`, the
+        flow capacities the next replanning sees. ``factor`` is relative to
+        the link's *original* bandwidth, so repeated degradations do not
+        compound; :meth:`restore_link` resets it. With ``bidirectional``
+        the reverse direction is degraded too when it exists (links may be
+        asymmetric).
+        """
+        if factor <= 0:
+            raise SimulationError(
+                f"degradation factor must be positive, got {factor} "
+                "(sever connectivity by failing nodes instead)"
+            )
+        self.cluster.link(src, dst)  # referential check before mutating
+        keys = [(src, dst)]
+        if bidirectional and self.cluster.has_link(dst, src):
+            keys.append((dst, src))
+        for key in keys:
+            base = self._base_bandwidth.setdefault(
+                key, self.cluster.link(*key).bandwidth
+            )
+            link = self.cluster.set_link_bandwidth(*key, base * factor)
+            channel = self.channels.get(key)
+            if channel is not None:
+                channel.link = link
+
+    def restore_link(
+        self, src: str, dst: str, bidirectional: bool = True
+    ) -> None:
+        """Restore a degraded link to its original bandwidth."""
+        keys = [(src, dst)]
+        if bidirectional:
+            keys.append((dst, src))
+        for key in keys:
+            base = self._base_bandwidth.pop(key, None)
+            if base is None:
+                continue
+            link = self.cluster.set_link_bandwidth(*key, base)
+            channel = self.channels.get(key)
+            if channel is not None:
+                channel.link = link
+
+    def _attempt_survives(
+        self, pipeline: RequestPipeline, placement, rebound: set[str]
+    ) -> bool:
+        """Whether an in-flight pipeline is still executable.
+
+        A pipeline dies if any of its nodes is down, left the placement, or
+        is about to be *re-bound* (its layer interval changed, so its
+        executor and KV pool are replaced — queued and in-flight work there
+        would vanish with the old executor). A node that is up, still
+        placed, and not re-bound holds the exact interval the pipeline was
+        built against, so no further stage check is needed.
+        """
+        for stage in pipeline.stages:
+            if stage.node_id in self._down_nodes:
+                return False
+            if stage.node_id in rebound:
+                return False
+            if not placement.holds_layers(stage.node_id):
+                return False
+        return True
+
+    def apply_placement(self, placement, flow=None) -> list[str]:
+        """Hot-swap a replanned placement (and flow) into the live run.
+
+        Requests whose pipelines survive the swap — every stage node still
+        up, still holding the same layer interval — keep draining
+        untouched. The rest are *migrated*: requeued for scheduling under
+        the new placement. Nodes entering service get executors and KV
+        pools; nodes whose layer interval changed are re-bound (their
+        resident weights are reloaded, which also resets their KV pool —
+        every request with state there is migrated first).
+
+        Returns the ids of migrated requests.
+        """
+        placement.validate()
+        if flow is not None and flow.max_flow <= 0:
+            # Reject before mutating: the scheduler would refuse this flow
+            # anyway, and by then requests would already be requeued and
+            # executors rebound against a placement it never adopted.
+            raise SimulationError(
+                "flow solution carries no flow; refusing to hot-swap"
+            )
+        old_placement = self.placement
+        rebound: set[str] = set()
+        for node_id in placement.used_nodes:
+            if node_id not in self.executors:
+                continue  # entering service: no in-flight state to protect
+            old_stage = (
+                old_placement.interval(node_id)
+                if old_placement.holds_layers(node_id)
+                else None
+            )
+            stage = placement.interval(node_id)
+            if old_stage is None or (old_stage.start, old_stage.end) != (
+                stage.start, stage.end
+            ):
+                rebound.add(node_id)
+
+        migrated = []
+        for rid, active in list(self._active.items()):
+            if not self._attempt_survives(active.pipeline, placement, rebound):
+                migrated.append(rid)
+                self._requeue(active, migrated=True)
+
+        self.placement = placement
+        for node_id in placement.used_nodes:
+            if node_id not in self.executors:
+                self._bind_node(node_id)
+            elif node_id in rebound:
+                self._node_epoch[node_id] = (
+                    self._node_epoch.get(node_id, 0) + 1
+                )
+                self._bind_node(node_id)
+        # Nodes leaving service quiesce like failed ones: queued stage work
+        # is dropped and the in-flight batch (if any) goes stale, so they
+        # stop accruing utilization and scheduler progress. Their executors
+        # and KV pools stay registered for run-level statistics.
+        for node_id in old_placement.used_nodes:
+            if placement.holds_layers(node_id):
+                continue
+            executor = self.executors.get(node_id)
+            if executor is not None:
+                executor.queue.clear()
+                executor.busy = False
+            self._node_epoch[node_id] = self._node_epoch.get(node_id, 0) + 1
+        # A joined node brings new links; give them channels.
+        for key, link in self.cluster.links.items():
+            if key not in self.channels:
+                self.channels[key] = LinkChannel(link)
+
+        self.scheduler.apply_placement(placement, flow=flow)
+        self._retry_pending()
+        return migrated
 
     # ------------------------------------------------------------------
     # Introspection for tests and case studies
@@ -303,6 +613,34 @@ class Simulation:
     def now(self) -> float:
         """Current simulation time."""
         return self._now
+
+    @property
+    def down_nodes(self) -> set[str]:
+        """Nodes currently failed."""
+        return set(self._down_nodes)
+
+    @property
+    def pending_requests(self) -> int:
+        """Requests waiting in the pending queue."""
+        return len(self._pending)
+
+    @property
+    def token_timeline(self) -> list[float]:
+        """Emission times of every token the system produced, in order.
+
+        Unlike per-request records (reset when an attempt is disrupted),
+        this global timeline is append-only: tokens emitted by an attempt
+        that later failed stay in it. Feeding it to
+        :func:`~repro.sim.metrics.goodput_timeline` therefore shows the
+        true served-token rate over time — including the dip around a
+        failure and the recovery after replanning.
+        """
+        return list(self._token_timeline)
+
+    @property
+    def records(self) -> list[RequestRecord]:
+        """Records of every request that has arrived so far."""
+        return list(self._records.values())
 
     def record_of(self, request_id: str) -> RequestRecord:
         """Per-request record (available after the run)."""

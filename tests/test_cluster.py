@@ -110,6 +110,73 @@ class TestClusterBuilder:
         with pytest.raises(ClusterError):
             cluster.remove_link("a", "b")
 
+    def test_remove_node_drops_incident_links(self):
+        cluster = Cluster()
+        cluster.add_node("a", T4)
+        cluster.add_node("b", T4)
+        cluster.add_node("c", T4)
+        cluster.connect("a", "b", 1e9)
+        cluster.connect("b", "c", 1e9)
+        cluster.connect("coordinator", "b", 1e9)
+        removed = cluster.remove_node("b")
+        assert removed.node_id == "b"
+        assert "b" not in cluster
+        assert not cluster.has_link("a", "b")
+        assert not cluster.has_link("b", "c")
+        assert not cluster.has_link("coordinator", "b")
+        assert not cluster.has_link("b", "coordinator")
+
+    def test_remove_unknown_node_raises(self):
+        with pytest.raises(ClusterError, match="unknown node"):
+            Cluster().remove_node("ghost")
+
+    def test_remove_node_clears_availability(self):
+        cluster = Cluster()
+        cluster.add_node("a", T4)
+        cluster.set_node_available("a", False)
+        cluster.remove_node("a")
+        assert cluster.down_node_ids == []
+
+    def test_node_availability_roundtrip(self, small_cluster):
+        assert small_cluster.node_available("t4-0")
+        small_cluster.set_node_available("t4-0", False)
+        assert not small_cluster.node_available("t4-0")
+        assert small_cluster.down_node_ids == ["t4-0"]
+        assert "t4-0" not in small_cluster.available_node_ids
+        small_cluster.validate()  # down nodes are still valid topology
+        small_cluster.set_node_available("t4-0", True)
+        assert small_cluster.available_node_ids == small_cluster.node_ids
+
+    def test_availability_unknown_node_raises(self, small_cluster):
+        with pytest.raises(ClusterError, match="unknown node"):
+            small_cluster.set_node_available("ghost", False)
+        with pytest.raises(ClusterError, match="unknown node"):
+            small_cluster.node_available("ghost")
+
+    def test_subcluster_defaults_to_available(self, small_cluster):
+        small_cluster.set_node_available("a100-0", False)
+        sub = small_cluster.subcluster()
+        assert sorted(sub.node_ids) == ["l4-0", "t4-0", "t4-1"]
+        assert sub.node_available("l4-0")
+        # Links among kept nodes and their coordinator links survive.
+        assert sub.has_link("l4-0", "t4-0")
+        assert sub.has_link("coordinator", "t4-1")
+        assert not any("a100-0" in key for key in sub.links)
+        sub.validate()
+
+    def test_subcluster_unknown_node_raises(self, small_cluster):
+        with pytest.raises(ClusterError, match="unknown nodes"):
+            small_cluster.subcluster(["ghost"])
+
+    def test_set_link_bandwidth_swaps_link(self, small_cluster):
+        original = small_cluster.link("a100-0", "l4-0")
+        updated = small_cluster.set_link_bandwidth("a100-0", "l4-0", 1e6)
+        assert updated.bandwidth == 1e6
+        assert updated.latency == original.latency
+        assert small_cluster.link("a100-0", "l4-0") is updated
+        # The reverse direction is untouched.
+        assert small_cluster.link("l4-0", "a100-0").bandwidth == original.bandwidth
+
     def test_validate_requires_coordinator_links(self):
         cluster = Cluster()
         cluster.add_node("a", T4)

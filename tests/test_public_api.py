@@ -38,6 +38,11 @@ class TestPublicAPI:
             "synthesize_azure_trace", "offline_arrivals", "poisson_arrivals",
             "diurnal_arrivals", "rate_for_utilization", "run_offline",
             "run_online", "make_planner", "make_scheduler",
+            # online dynamics
+            "OnlineController", "NodeFailure", "NodeRecovery", "NodeJoin",
+            "LinkDegradation", "LinkRecovery", "NetworkPartition",
+            "PartitionHeal", "ChurnConfig", "random_churn",
+            "scripted_schedule", "DisruptionReport", "goodput_timeline",
         ],
     )
     def test_exported(self, name):
