@@ -104,5 +104,17 @@ from repro.trace import (
     rate_for_utilization,
 )
 from repro.bench import run_offline, run_online, make_planner, make_scheduler
+from repro.scenarios import (
+    SCENARIO_FAMILIES,
+    Scenario,
+    generate_scenario,
+    scenario_matrix,
+)
+from repro.testkit import (
+    ScenarioReport,
+    Violation,
+    run_scenario,
+    verify_scenario,
+)
 
 __version__ = "0.1.0"

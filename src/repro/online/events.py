@@ -240,6 +240,7 @@ def random_churn(
     config: ChurnConfig,
     seed: int = 0,
     link_keys: Sequence[tuple[str, str]] = (),
+    rng: random.Random | None = None,
 ) -> list[ClusterEvent]:
     """Draw a reproducible churn schedule from exponential processes.
 
@@ -247,11 +248,14 @@ def random_churn(
     random up node, and heal after an exponential downtime; link
     degradations (if enabled and ``link_keys`` given) follow the same
     pattern on uniformly random links. The same ``(config, seed)`` always
-    yields the same schedule.
+    yields the same schedule; an explicit ``rng`` lets callers thread one
+    generator through a whole scenario. Global :mod:`random` state is
+    never consulted.
     """
     if not node_ids:
         raise ValueError("random_churn needs at least one node id")
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
     events: list[ClusterEvent] = []
 
     down_until: dict[str, float] = {}

@@ -102,6 +102,9 @@ class HelixMilpPlanner(PlacementPlanner):
             reproduces the pre-optimization behaviour (equality
             constraints appended per round, full recompile) for perf
             baselines.
+        lns_seed: Seed of the LNS window-selection RNG. The search never
+            touches global random state, so a planner configuration plus
+            this seed reproduces the exact round sequence.
         bnb_options: Extra keyword arguments forwarded to
             :class:`BranchAndBoundSolver` (feature switches, stall_time).
     """
@@ -125,6 +128,7 @@ class HelixMilpPlanner(PlacementPlanner):
         lns_time_limit: float = 20.0,
         adaptive_budget: bool = True,
         lns_mode: str = "incremental",
+        lns_seed: int = 0,
         bnb_options: dict | None = None,
     ) -> None:
         super().__init__(cluster, model, profiler, partial_inference)
@@ -143,6 +147,7 @@ class HelixMilpPlanner(PlacementPlanner):
         self.lns_time_limit = lns_time_limit
         self.adaptive_budget = adaptive_budget
         self.lns_mode = lns_mode
+        self.lns_seed = lns_seed
         self.bnb_options = dict(bnb_options or {})
         self.last_trajectory = None  # set by the bnb backend
         self.last_solver_stats = None  # set by the bnb backend
@@ -595,7 +600,7 @@ class HelixMilpPlanner(PlacementPlanner):
             if self.lns_mode == "incremental"
             else self._lns_round_rebuild
         )
-        rng = _random.Random(0)
+        rng = _random.Random(self.lns_seed)
         by_rate = sorted(
             node_ids,
             key=lambda nid: -self.per_layer_rate(nid)

@@ -1,0 +1,29 @@
+"""Seeded scenario generation for the verification matrix.
+
+Every scenario is addressable by ``(family, seed, size)`` — see
+:func:`generate_scenario` — and reproduced exactly by
+``PYTHONPATH=src python -m repro.testkit <family> <seed>``.
+"""
+
+from repro.scenarios.generator import (
+    FULL,
+    SCENARIO_FAMILIES,
+    SMOKE,
+    Scenario,
+    ScenarioLimits,
+    generate_scenario,
+    scenario_matrix,
+)
+from repro.scenarios.workloads import WORKLOAD_KINDS, make_workload
+
+__all__ = [
+    "FULL",
+    "SCENARIO_FAMILIES",
+    "SMOKE",
+    "Scenario",
+    "ScenarioLimits",
+    "WORKLOAD_KINDS",
+    "generate_scenario",
+    "make_workload",
+    "scenario_matrix",
+]

@@ -1,0 +1,209 @@
+"""End-to-end scenario execution with invariant and oracle checking.
+
+:func:`run_scenario` plays one generated scenario through the full stack
+— plan, schedule, simulate (applying any churn schedule) — collecting
+:class:`~repro.testkit.invariants.Violation` objects instead of raising,
+and fingerprints the run for determinism comparisons.
+:func:`verify_scenario` is the sweep entry point: it generates the
+scenario from its ``(family, seed, size)`` address, runs it (twice when
+checking determinism — churn and serving mutate the cluster, so each run
+gets a fresh generation), optionally cross-validates the incremental flow
+evaluator, and folds everything into one :class:`ScenarioReport` whose
+failure text always carries the one-line repro command.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.bench.runner import make_planner, make_scheduler
+from repro.core.errors import ReproError
+from repro.placement.base import PlannerResult
+from repro.scenarios.generator import Scenario, generate_scenario
+from repro.sim.metrics import ServingMetrics
+from repro.sim.simulator import Simulation
+from repro.testkit.differential import check_reevaluate_vs_rebuild
+from repro.testkit.invariants import (
+    SchedulerAuditor,
+    Violation,
+    check_planner_result,
+    check_simulation,
+)
+
+#: Planner fallback order when a scenario's suggested method cannot serve
+#: its draw (heuristics are topology-blind and may legitimately fail).
+_PLANNER_FALLBACKS = ("swarm", "petals", "sp+")
+
+
+@dataclass
+class ScenarioReport:
+    """Everything one verified scenario run produced.
+
+    Attributes:
+        scenario: The (post-run, mutated) scenario object.
+        planner_used: The placement method that actually served.
+        planned_throughput: Max-flow value of the placement.
+        metrics: Aggregate serving metrics of the run.
+        violations: Every invariant/oracle breach found (empty = pass).
+        fingerprint: Digest of the run's observable outcome, stable
+            across identical replays.
+    """
+
+    scenario: Scenario
+    planner_used: str = "?"
+    planned_throughput: float = 0.0
+    metrics: ServingMetrics | None = None
+    violations: list[Violation] = field(default_factory=list)
+    fingerprint: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run satisfied every checked invariant."""
+        return not self.violations
+
+    def failure_message(self) -> str:
+        """Multi-line report ending with the one-line repro command."""
+        lines = [self.scenario.describe()]
+        lines += [f"  {v}" for v in self.violations]
+        lines.append(f"  reproduce: {self.scenario.repro_command()}")
+        return "\n".join(lines)
+
+
+def _plan(scenario: Scenario) -> tuple[str, object, PlannerResult]:
+    """Plan the scenario, falling back across heuristic methods."""
+    errors: list[str] = []
+    tried = [scenario.planner_method] + [
+        method for method in _PLANNER_FALLBACKS
+        if method != scenario.planner_method
+    ]
+    for method in tried:
+        try:
+            planner = make_planner(method, scenario.cluster, scenario.model)
+            result = planner.plan()
+        except ReproError as exc:
+            errors.append(f"{method}: {exc}")
+            continue
+        if result.max_throughput > 0:
+            return method, planner, result
+        errors.append(f"{method}: zero-throughput placement")
+    raise ReproError(
+        "no planner produced a servable placement for "
+        f"{scenario.describe()} ({'; '.join(errors)}); "
+        f"reproduce: {scenario.repro_command()}"
+    )
+
+
+def _fingerprint(sim: Simulation, metrics: ServingMetrics) -> str:
+    """Digest of a run's observable outcome (exact, not rounded)."""
+    payload = repr((
+        metrics.requests_finished,
+        metrics.requests_submitted,
+        metrics.decode_tokens,
+        metrics.decode_throughput,
+        metrics.requests_retried,
+        metrics.requests_migrated,
+        sim.token_timeline,
+    )).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+def run_scenario(scenario: Scenario) -> ScenarioReport:
+    """Play one scenario end-to-end, collecting invariant violations.
+
+    The scenario object is consumed: serving and churn mutate its cluster
+    (availability, link bandwidths). Regenerate for a second run.
+    """
+    report = ScenarioReport(scenario=scenario)
+    try:
+        method, planner, planner_result = _plan(scenario)
+    except ReproError as exc:
+        report.violations.append(Violation("planner_serves", str(exc)))
+        return report
+    report.planner_used = method
+    report.planned_throughput = planner_result.max_throughput
+
+    report.violations.extend(
+        check_planner_result(
+            planner_result, scenario.cluster, scenario.model,
+            # SP relaxes the half-VRAM rule; bound it at its own fraction.
+            max_weight_fraction=getattr(planner, "max_weight_fraction", None),
+        )
+    )
+
+    scheduler = make_scheduler(
+        scenario.scheduler_method,
+        scenario.cluster,
+        scenario.model,
+        planner_result,
+        seed=scenario.seed,
+    )
+    auditor = SchedulerAuditor(scheduler)
+    sim = Simulation(
+        cluster=scenario.cluster,
+        model=scenario.model,
+        placement=planner_result.placement,
+        scheduler=scheduler,
+        requests=scenario.requests,
+        max_time=scenario.max_time,
+        seed=scenario.seed,
+    )
+    for event in scenario.churn:
+        if event.time <= scenario.max_time:
+            sim.schedule_event(event.time, event.apply)
+
+    metrics = sim.run()
+    report.metrics = metrics
+    report.fingerprint = _fingerprint(sim, metrics)
+    report.violations.extend(
+        check_simulation(sim, metrics, planner_result.flow)
+    )
+    report.violations.extend(auditor.violations)
+    if auditor.pipelines_audited == 0:
+        report.violations.append(Violation(
+            "pipelines_scheduled",
+            "the run never scheduled a single pipeline",
+        ))
+    return report
+
+
+def verify_scenario(
+    family: str,
+    seed: int,
+    size: str = "smoke",
+    determinism: bool = True,
+    flow_differential: bool = True,
+) -> ScenarioReport:
+    """Generate, run, and cross-check the scenario at one address.
+
+    Args:
+        family: Topology family.
+        seed: Scenario seed.
+        size: Sweep tier (``"smoke"`` or ``"full"``).
+        determinism: Replay the address a second time (fresh generation)
+            and require a bit-identical outcome fingerprint.
+        flow_differential: Cross-validate ``FlowGraph.reevaluate`` against
+            fresh rebuilds on seeded random placements of this scenario.
+    """
+    report = run_scenario(generate_scenario(family, seed, size))
+    if flow_differential:
+        # Fresh generation: the first run mutated the cluster.
+        report.violations.extend(
+            check_reevaluate_vs_rebuild(generate_scenario(family, seed, size))
+        )
+    if determinism:
+        replay = run_scenario(generate_scenario(family, seed, size))
+        if replay.fingerprint != report.fingerprint:
+            report.violations.append(Violation(
+                "per_seed_determinism",
+                "two runs of the same (family, seed, size) produced "
+                f"different outcomes ({report.fingerprint[:12]} vs "
+                f"{replay.fingerprint[:12]})",
+            ))
+    return report
+
+
+def assert_scenario_ok(report: ScenarioReport) -> None:
+    """Raise ``AssertionError`` with the repro command on any violation."""
+    if not report.ok:
+        raise AssertionError(report.failure_message())

@@ -1,0 +1,275 @@
+"""Cross-layer invariants every scenario run must satisfy.
+
+Each checker returns a list of :class:`Violation` (empty = pass) rather
+than raising, so the harness can collect everything wrong with one run
+and report it alongside the one-line repro command. The invariants tie
+the layers together:
+
+* flow: conservation at every vertex, flows within capacities, source
+  out-flow == sink in-flow == max flow;
+* placement: the planner's claimed throughput is exactly its flow
+  solution's value, never exceeds the §4.5 compute-sum upper bound, and
+  the placement validates against per-node VRAM bounds;
+* simulation: goodput never exceeds the planned max flow, KV pools never
+  go negative / over capacity (and fully drain when everything finished),
+  all finished work is accounted;
+* scheduling: no pipeline is ever routed through a node that is down at
+  schedule time (checked live via :class:`SchedulerAuditor`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import COORDINATOR
+from repro.flow.graph import FlowSolution
+from repro.models.specs import ModelSpec
+from repro.placement.base import PlannerResult
+from repro.scheduling.base import Scheduler
+from repro.sim.metrics import ServingMetrics
+from repro.sim.simulator import Simulation
+
+#: Relative slack for floating-point flow comparisons.
+_REL_TOL = 1e-6
+#: Simulated goodput may transiently exceed the planned rate inside a
+#: short measurement window (a burst of queued decodes landing together),
+#: so the sim-vs-plan bound gets a coarser allowance.
+_GOODPUT_SLACK = 1.10
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach.
+
+    Attributes:
+        invariant: Short machine-readable name (e.g. ``flow_conservation``).
+        detail: Human-readable description with the offending numbers.
+    """
+
+    invariant: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.invariant}] {self.detail}"
+
+
+def _tol(scale: float) -> float:
+    return max(1e-9, abs(scale) * _REL_TOL)
+
+
+# ----------------------------------------------------------------------
+# Flow-layer invariants
+# ----------------------------------------------------------------------
+def check_flow_solution(flow: FlowSolution) -> list[Violation]:
+    """Conservation and capacity invariants of one max-flow solution."""
+    violations: list[Violation] = []
+
+    inflow: dict[str, float] = {}
+    outflow: dict[str, float] = {}
+    for (src, dst), value in flow.connection_flows.items():
+        if value < -_tol(flow.max_flow):
+            violations.append(Violation(
+                "flow_nonnegative",
+                f"connection {src}->{dst} carries negative flow {value}",
+            ))
+        outflow[src] = outflow.get(src, 0.0) + value
+        inflow[dst] = inflow.get(dst, 0.0) + value
+
+    source_out = outflow.get(COORDINATOR, 0.0)
+    sink_in = inflow.get(COORDINATOR, 0.0)
+    if abs(source_out - flow.max_flow) > _tol(flow.max_flow):
+        violations.append(Violation(
+            "flow_source_value",
+            f"source out-flow {source_out} != max_flow {flow.max_flow}",
+        ))
+    if abs(sink_in - flow.max_flow) > _tol(flow.max_flow):
+        violations.append(Violation(
+            "flow_sink_value",
+            f"sink in-flow {sink_in} != max_flow {flow.max_flow}",
+        ))
+
+    for node_id, through in flow.node_flows.items():
+        node_in = inflow.get(node_id, 0.0)
+        node_out = outflow.get(node_id, 0.0)
+        if abs(node_in - node_out) > _tol(flow.max_flow):
+            violations.append(Violation(
+                "flow_conservation",
+                f"node {node_id}: inflow {node_in} != outflow {node_out}",
+            ))
+        if abs(node_in - through) > _tol(flow.max_flow):
+            violations.append(Violation(
+                "flow_conservation",
+                f"node {node_id}: inflow {node_in} != node edge flow {through}",
+            ))
+        capacity = flow.node_capacities.get(node_id, 0.0)
+        if through > capacity + _tol(capacity):
+            violations.append(Violation(
+                "flow_node_capacity",
+                f"node {node_id}: flow {through} exceeds capacity {capacity}",
+            ))
+
+    for key, value in flow.connection_flows.items():
+        capacity = flow.connection_capacities.get(key, 0.0)
+        if value > capacity + _tol(capacity):
+            violations.append(Violation(
+                "flow_link_capacity",
+                f"connection {key[0]}->{key[1]}: flow {value} exceeds "
+                f"capacity {capacity}",
+            ))
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Placement-layer invariants
+# ----------------------------------------------------------------------
+def check_planner_result(
+    result: PlannerResult,
+    cluster: Cluster,
+    model: ModelSpec,
+    profiler=None,
+    max_weight_fraction: float | None = None,
+) -> list[Violation]:
+    """Placement validity and throughput-bound invariants.
+
+    Args:
+        max_weight_fraction: VRAM fraction the planner was allowed to
+            spend on weights. The SP baselines deliberately relax the
+            profiler's half-VRAM rule (§6.3), so their placements must be
+            bounded at their own fraction, not the default.
+    """
+    from repro.placement.swarm import SwarmPlanner  # concrete, for helpers
+
+    violations: list[Violation] = []
+    helper = SwarmPlanner(cluster, model, profiler)
+    bounds = {
+        nid: helper.max_layers(nid, max_weight_fraction)
+        for nid in cluster.node_ids
+    }
+    try:
+        result.placement.validate(max_layers_per_node=bounds)
+    except Exception as exc:  # PlacementError subclasses ReproError
+        violations.append(Violation(
+            "placement_valid", f"placement fails validation: {exc}"
+        ))
+        return violations
+
+    violations.extend(check_flow_solution(result.flow))
+
+    # §4.5 compute-sum bound, at the planner's own VRAM provisioning: a
+    # relaxed weight fraction packs more layers per node, which raises
+    # both the placement's throughput and the bound consistently.
+    upper = 0.0
+    for nid in cluster.node_ids:
+        k = bounds[nid]
+        if k < 1:
+            continue
+        node = cluster.node(nid)
+        upper += max(
+            helper.profiler.throughput(node, model, j) * j
+            for j in range(1, k + 1)
+        )
+    upper /= model.num_layers
+    if result.max_throughput > upper + _tol(upper):
+        violations.append(Violation(
+            "throughput_upper_bound",
+            f"placement throughput {result.max_throughput} exceeds the "
+            f"compute-sum upper bound {upper}",
+        ))
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Simulation-layer invariants
+# ----------------------------------------------------------------------
+def check_simulation(
+    sim: Simulation,
+    metrics: ServingMetrics,
+    planned_flow: FlowSolution,
+) -> list[Violation]:
+    """Post-run invariants tying the simulator back to the plan."""
+    violations: list[Violation] = []
+
+    planned = planned_flow.max_flow
+    if metrics.decode_throughput > planned * _GOODPUT_SLACK + _tol(planned):
+        violations.append(Violation(
+            "goodput_le_planned",
+            f"simulated decode throughput {metrics.decode_throughput:.3f} "
+            f"tok/s exceeds the planned max flow {planned:.3f} tok/s",
+        ))
+
+    all_finished = metrics.requests_finished == metrics.requests_submitted
+    for node_id, pool in sim.kv_pools.items():
+        if pool.used_tokens < 0:
+            violations.append(Violation(
+                "kv_nonnegative",
+                f"KV pool of {node_id} went negative: {pool.used_tokens}",
+            ))
+        if pool.peak_tokens > pool.capacity_tokens and pool.overflow_events == 0:
+            violations.append(Violation(
+                "kv_overflow_accounting",
+                f"KV pool of {node_id} peaked at {pool.peak_tokens} over "
+                f"capacity {pool.capacity_tokens} without counting an "
+                "overflow event",
+            ))
+        if all_finished and not sim.down_nodes and pool.used_tokens != 0:
+            violations.append(Violation(
+                "kv_drained",
+                f"all requests finished but KV pool of {node_id} still "
+                f"holds {pool.used_tokens} tokens",
+            ))
+
+    if metrics.requests_finished > metrics.requests_submitted:
+        violations.append(Violation(
+            "requests_accounting",
+            f"finished {metrics.requests_finished} > submitted "
+            f"{metrics.requests_submitted}",
+        ))
+    for record in sim.records:
+        if record.finished and record.tokens_generated != record.output_len:
+            violations.append(Violation(
+                "tokens_accounting",
+                f"request {record.request_id} finished with "
+                f"{record.tokens_generated}/{record.output_len} tokens",
+            ))
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Scheduling-layer invariants (live audit)
+# ----------------------------------------------------------------------
+class SchedulerAuditor:
+    """Wraps a scheduler's ``schedule`` to audit every pipeline it emits.
+
+    Records a violation whenever a freshly-built pipeline routes through a
+    node the scheduler itself considers down, or through a node outside
+    the current placement. Install before the run; read ``violations``
+    after.
+    """
+
+    def __init__(self, scheduler: Scheduler) -> None:
+        self.scheduler = scheduler
+        self.violations: list[Violation] = []
+        self.pipelines_audited = 0
+        self._inner = scheduler.schedule
+        scheduler.schedule = self._audited_schedule  # type: ignore[method-assign]
+
+    def _audited_schedule(self, request_id: str, input_len: int):
+        pipeline = self._inner(request_id, input_len)
+        if pipeline is None:
+            return None
+        self.pipelines_audited += 1
+        for stage in pipeline.stages:
+            if stage.node_id in self.scheduler.down_nodes:
+                self.violations.append(Violation(
+                    "route_through_down_node",
+                    f"request {request_id} scheduled through down node "
+                    f"{stage.node_id}",
+                ))
+            if not self.scheduler.placement.holds_layers(stage.node_id):
+                self.violations.append(Violation(
+                    "route_through_unplaced_node",
+                    f"request {request_id} scheduled through {stage.node_id} "
+                    "which holds no layers in the current placement",
+                ))
+        return pipeline

@@ -5,6 +5,10 @@
 * Online: Poisson arrivals whose rate follows the Azure dataset's diurnal
   shape, with the *average* rate scaled to a fraction (the paper uses 75%)
   of the cluster's peak throughput.
+
+Every stochastic entry point takes an explicit ``seed`` (or a pre-built
+``rng``) and never touches the module-level :mod:`random` state, so a
+``(generator, seed)`` pair fully reproduces a stamped trace.
 """
 
 from __future__ import annotations
@@ -15,6 +19,11 @@ import random
 from repro.sim.request import Request
 
 
+def _resolve_rng(seed: int, rng: random.Random | None) -> random.Random:
+    """An explicit generator wins; otherwise derive one from ``seed``."""
+    return rng if rng is not None else random.Random(seed)
+
+
 def offline_arrivals(requests: list[Request]) -> list[Request]:
     """All requests available at time zero."""
     return [
@@ -23,12 +32,17 @@ def offline_arrivals(requests: list[Request]) -> list[Request]:
 
 
 def poisson_arrivals(
-    requests: list[Request], rate: float, seed: int = 0
+    requests: list[Request],
+    rate: float,
+    seed: int = 0,
+    rng: random.Random | None = None,
 ) -> list[Request]:
     """Homogeneous Poisson arrivals at ``rate`` requests/second."""
-    if rate <= 0:
-        raise ValueError(f"arrival rate must be positive, got {rate}")
-    rng = random.Random(seed)
+    if not requests:
+        raise ValueError("cannot stamp arrivals on an empty request list")
+    if rate <= 0 or not math.isfinite(rate):
+        raise ValueError(f"arrival rate must be positive and finite, got {rate}")
+    rng = _resolve_rng(seed, rng)
     now = 0.0
     out = []
     for request in requests:
@@ -43,6 +57,7 @@ def diurnal_arrivals(
     seed: int = 0,
     period: float = 1800.0,
     amplitude: float = 0.35,
+    rng: random.Random | None = None,
 ) -> list[Request]:
     """Non-homogeneous Poisson arrivals with a sinusoidal rate.
 
@@ -54,16 +69,22 @@ def diurnal_arrivals(
     Args:
         requests: Requests to stamp, in order.
         mean_rate: Average arrivals per second.
-        seed: RNG seed.
+        seed: RNG seed (ignored when ``rng`` is given).
         period: Seconds per diurnal cycle (scaled down like everything
             else in the simulated runs).
         amplitude: Relative swing of the rate around its mean (< 1).
+        rng: Explicit generator, for callers threading one seed through a
+            whole scenario.
     """
-    if mean_rate <= 0:
-        raise ValueError(f"mean_rate must be positive, got {mean_rate}")
+    if not requests:
+        raise ValueError("cannot stamp arrivals on an empty request list")
+    if mean_rate <= 0 or not math.isfinite(mean_rate):
+        raise ValueError(
+            f"mean_rate must be positive and finite, got {mean_rate}"
+        )
     if not 0.0 <= amplitude < 1.0:
         raise ValueError(f"amplitude must be in [0, 1), got {amplitude}")
-    rng = random.Random(seed)
+    rng = _resolve_rng(seed, rng)
     rate_max = mean_rate * (1.0 + amplitude)
     now = 0.0
     out = []
@@ -92,9 +113,18 @@ def rate_for_utilization(
     placement's max flow); each request consumes ``input + output`` tokens
     of that capacity.
     """
-    if peak_token_throughput <= 0:
-        raise ValueError("peak throughput must be positive")
+    if not requests:
+        raise ValueError("cannot derive an arrival rate from an empty trace")
+    if peak_token_throughput <= 0 or not math.isfinite(peak_token_throughput):
+        raise ValueError(
+            "peak throughput must be positive and finite, got "
+            f"{peak_token_throughput}"
+        )
     if not 0.0 < utilization <= 1.0:
         raise ValueError(f"utilization must be in (0, 1], got {utilization}")
     mean_tokens = sum(r.total_tokens for r in requests) / len(requests)
+    if mean_tokens <= 0:
+        raise ValueError(
+            "requests carry no tokens; cannot derive an arrival rate"
+        )
     return utilization * peak_token_throughput / mean_tokens

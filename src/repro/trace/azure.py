@@ -55,15 +55,21 @@ def _lognormal_mu(target_mean: float, sigma: float) -> float:
     return math.log(target_mean) - sigma**2 / 2.0
 
 
-def synthesize_azure_trace(config: AzureTraceConfig | None = None) -> list[Request]:
+def synthesize_azure_trace(
+    config: AzureTraceConfig | None = None,
+    rng: random.Random | None = None,
+) -> list[Request]:
     """Generate the synthetic trace with all arrivals at time zero.
 
     Arrival times are assigned separately (:mod:`repro.trace.arrival`) so
     the same length sample serves both offline and online settings, exactly
-    as the paper reuses one dataset with two arrival processes.
+    as the paper reuses one dataset with two arrival processes. Sampling
+    uses ``config.seed`` (or the explicit ``rng``) and never the global
+    :mod:`random` state.
     """
     config = config or AzureTraceConfig()
-    rng = random.Random(config.seed)
+    if rng is None:
+        rng = random.Random(config.seed)
     # Pre-cap targets are inflated so the *post-cap* means match the
     # published 763 / 232 (capping at 2048 / 1024 trims the right tail).
     input_mu = _lognormal_mu(AZURE_MEAN_INPUT * 1.145, config.input_sigma)
@@ -91,7 +97,14 @@ def synthesize_azure_trace(config: AzureTraceConfig | None = None) -> list[Reque
 
 
 def trace_statistics(requests: list[Request]) -> dict[str, float]:
-    """Summary statistics for Fig. 5a-style reporting."""
+    """Summary statistics for Fig. 5a-style reporting.
+
+    Raises:
+        ValueError: On an empty request list (instead of a bare
+            ``ZeroDivisionError`` from the mean computations).
+    """
+    if not requests:
+        raise ValueError("cannot compute statistics of an empty trace")
     inputs = [r.input_len for r in requests]
     outputs = [r.output_len for r in requests]
     return {

@@ -1,0 +1,145 @@
+"""Differential sanity for the under-tested planners and schedulers.
+
+The ``petals``, ``swarm``, and ``separate`` (SP/SP+) planners and the
+baseline scheduling policies get the same treatment the Helix path gets
+in the sweep: on *generated* scenarios, every produced placement must
+validate against VRAM bounds, satisfy the flow invariants, and stay
+below the compute-sum throughput bound; every scheduled pipeline must
+cover the model's layers exactly once, in order, through nodes that
+actually hold them.
+"""
+
+import pytest
+
+from repro.bench.runner import make_planner, make_scheduler
+from repro.core.errors import PlacementError
+from repro.scenarios import generate_scenario
+from repro.sim.simulator import Simulation
+from repro.testkit import SchedulerAuditor, check_planner_result
+
+#: Dense families only: the heuristics are topology-blind, so sparse
+#: topologies can legitimately zero them out (the sweep covers those via
+#: its fallback chain).
+_ADDRESSES = [("full_mesh", 0), ("full_mesh", 3), ("geo_regions", 1)]
+
+
+class TestBaselinePlanners:
+    @pytest.mark.parametrize("family,seed", _ADDRESSES)
+    @pytest.mark.parametrize("method", ["petals", "swarm", "sp", "sp+"])
+    def test_placements_satisfy_invariants(self, method, family, seed):
+        scenario = generate_scenario(family, seed)
+        planner = make_planner(method, scenario.cluster, scenario.model)
+        try:
+            result = planner.plan()
+        except PlacementError:
+            if method in ("sp", "sp+"):
+                pytest.skip(
+                    f"{method} cannot form pipelines on this draw "
+                    "(homogeneous groups too small)"
+                )
+            raise
+        violations = check_planner_result(
+            result, scenario.cluster, scenario.model,
+            max_weight_fraction=getattr(planner, "max_weight_fraction", None),
+        )
+        assert not violations, "\n".join(
+            f"{v} ({scenario.repro_command()})" for v in violations
+        )
+
+    @pytest.mark.parametrize("family,seed", _ADDRESSES)
+    def test_heuristics_never_beat_the_upper_bound_together(
+        self, family, seed
+    ):
+        scenario = generate_scenario(family, seed)
+        planner = make_planner("swarm", scenario.cluster, scenario.model)
+        upper = planner.compute_upper_bound()
+        for method in ("petals", "swarm"):
+            result = make_planner(
+                method, scenario.cluster, scenario.model
+            ).plan()
+            assert result.max_throughput <= upper + 1e-6 * max(1.0, upper)
+
+    def test_sp_plus_builds_pipelines_on_fig12(self):
+        # The SP baselines need homogeneous groups; the paper's fig12
+        # cluster (4 L4 + 6 T4) is their reference shape.
+        from repro.cluster.presets import small_cluster_fig12
+        from repro.models.specs import LLAMA_30B
+
+        cluster = small_cluster_fig12()
+        planner = make_planner("sp+", cluster, LLAMA_30B)
+        result = planner.plan()
+        assert result.pipelines, "sp+ must report its fixed pipelines"
+        violations = check_planner_result(
+            result, cluster, LLAMA_30B,
+            max_weight_fraction=planner.max_weight_fraction,
+        )
+        assert not violations, "\n".join(str(v) for v in violations)
+
+
+class TestBaselineSchedulers:
+    @pytest.mark.parametrize(
+        "method", ["helix", "swarm", "random", "shortest-queue"]
+    )
+    def test_pipelines_cover_layers_through_holding_nodes(self, method):
+        scenario = generate_scenario("full_mesh", 1)
+        planner_result = make_planner(
+            "petals", scenario.cluster, scenario.model
+        ).plan()
+        scheduler = make_scheduler(
+            method, scenario.cluster, scenario.model, planner_result, seed=0
+        )
+        auditor = SchedulerAuditor(scheduler)
+        pipelines = []
+        inner = scheduler.schedule
+
+        def capture(request_id, input_len):
+            pipeline = inner(request_id, input_len)
+            if pipeline is not None:
+                pipelines.append(pipeline)
+            return pipeline
+
+        scheduler.schedule = capture
+        sim = Simulation(
+            cluster=scenario.cluster,
+            model=scenario.model,
+            placement=planner_result.placement,
+            scheduler=scheduler,
+            requests=scenario.requests,
+            max_time=scenario.max_time,
+        )
+        metrics = sim.run()
+        assert metrics.requests_finished == metrics.requests_submitted
+        assert not auditor.violations
+        assert pipelines
+        placement = planner_result.placement
+        for pipeline in pipelines:
+            # Exactly-once, in-order layer coverage...
+            pipeline.validate(scenario.model.num_layers)
+            # ...through nodes that genuinely hold the layers they compute.
+            for stage in pipeline.stages:
+                interval = placement.interval(stage.node_id)
+                assert interval.start <= stage.start
+                assert stage.end == interval.end
+
+    def test_fixed_pipeline_scheduler_serves_sp_plus_plan(self):
+        from repro.cluster.presets import small_cluster_fig12
+        from repro.models.specs import LLAMA_30B
+        from repro.sim.request import Request
+
+        cluster = small_cluster_fig12()
+        planner_result = make_planner("sp+", cluster, LLAMA_30B).plan()
+        scheduler = make_scheduler(
+            "fixed", cluster, LLAMA_30B, planner_result
+        )
+        requests = [Request(f"r{i}", 32, 4) for i in range(12)]
+        sim = Simulation(
+            cluster=cluster,
+            model=LLAMA_30B,
+            placement=planner_result.placement,
+            scheduler=scheduler,
+            requests=requests,
+            max_time=600.0,
+        )
+        metrics = sim.run()
+        assert metrics.requests_finished == len(requests)
+        assert metrics.kv_overflow_events == 0

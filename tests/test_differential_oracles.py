@@ -1,0 +1,76 @@
+"""Differential oracles: fast paths agree with their reference paths.
+
+Each oracle cross-validates one of the incremental machines added in PRs
+1-2 against its slow reference on scenario-generated material:
+
+* ``FlowGraph.reevaluate`` vs. building a fresh graph per placement;
+* the ``bnb`` branch-and-bound vs. the scipy/HiGHS backend;
+* incremental-LNS re-solves vs. ``lns_mode="rebuild"``;
+* incremental ``MilpProblem.compile`` vs. an invalidated cold compile.
+"""
+
+import pytest
+
+from repro.scenarios import SCENARIO_FAMILIES, generate_scenario
+from repro.testkit import (
+    check_backend_agreement,
+    check_incremental_compile,
+    check_lns_modes_agree,
+    check_reevaluate_vs_rebuild,
+    random_placements,
+)
+
+
+def _fail(violations):
+    assert not violations, "\n".join(str(v) for v in violations)
+
+
+class TestFlowOracles:
+    @pytest.mark.parametrize("family", SCENARIO_FAMILIES)
+    def test_reevaluate_matches_rebuild(self, family):
+        _fail(check_reevaluate_vs_rebuild(generate_scenario(family, 0)))
+
+    def test_reevaluate_matches_rebuild_on_wide_model(self):
+        # full_mesh/0 draws the VRAM-bound model shape: multi-stage
+        # placements with real handoff validity churn between candidates.
+        scenario = generate_scenario("full_mesh", 0)
+        assert scenario.model.name.startswith("scn-wide")
+        _fail(check_reevaluate_vs_rebuild(scenario, count=20))
+
+    def test_random_placements_are_seeded(self):
+        a = random_placements(generate_scenario("geo_regions", 2))
+        b = random_placements(generate_scenario("geo_regions", 2))
+        assert a == b
+
+
+class TestMilpOracles:
+    @pytest.mark.parametrize("family", SCENARIO_FAMILIES)
+    def test_backends_agree(self, family):
+        _fail(check_backend_agreement(generate_scenario(family, 1)))
+
+    @pytest.mark.parametrize("family", ["full_mesh", "sparse_partitioned"])
+    def test_lns_modes_agree(self, family):
+        _fail(check_lns_modes_agree(generate_scenario(family, 2)))
+
+    @pytest.mark.parametrize("family", ["geo_regions", "star"])
+    def test_incremental_compile_matches_cold(self, family):
+        _fail(check_incremental_compile(generate_scenario(family, 3)))
+
+
+class TestPlannerDominance:
+    def test_helix_never_loses_to_its_hints(self):
+        # The MILP planner warm-starts from the heuristics and must never
+        # return something worse — checked on a generated topology rather
+        # than a hand-written preset.
+        from repro.bench.runner import make_planner
+        from repro.testkit.differential import _milp_material
+
+        cluster, model = _milp_material(generate_scenario("star", 4))
+        best_heuristic = 0.0
+        for method in ("swarm", "petals"):
+            planner = make_planner(method, cluster, model)
+            best_heuristic = max(best_heuristic, planner.plan().max_throughput)
+        helix = make_planner(
+            "helix", cluster, model, time_limit=10.0, backend="bnb"
+        )
+        assert helix.plan().max_throughput >= best_heuristic - 1e-6

@@ -43,6 +43,10 @@ class TestPublicAPI:
             "LinkDegradation", "LinkRecovery", "NetworkPartition",
             "PartitionHeal", "ChurnConfig", "random_churn",
             "scripted_schedule", "DisruptionReport", "goodput_timeline",
+            # scenarios + testkit
+            "SCENARIO_FAMILIES", "Scenario", "generate_scenario",
+            "scenario_matrix", "ScenarioReport", "Violation",
+            "run_scenario", "verify_scenario",
         ],
     )
     def test_exported(self, name):

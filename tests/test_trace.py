@@ -125,3 +125,44 @@ class TestArrivals:
         assert [(r.request_id, r.input_len, r.output_len) for r in stamped] == [
             (r.request_id, r.input_len, r.output_len) for r in trace
         ]
+
+
+class TestDegenerateInputs:
+    """Empty traces and degenerate rates fail with clear ValueErrors."""
+
+    def test_trace_statistics_empty_trace(self):
+        with pytest.raises(ValueError, match="empty trace"):
+            trace_statistics([])
+
+    def test_rate_for_utilization_empty_trace(self):
+        with pytest.raises(ValueError, match="empty trace"):
+            rate_for_utilization(1000.0, [])
+
+    def test_rate_for_utilization_nonfinite_peak(self):
+        requests = [Request("a", 10, 10)]
+        with pytest.raises(ValueError, match="positive and finite"):
+            rate_for_utilization(float("inf"), requests)
+        with pytest.raises(ValueError, match="positive and finite"):
+            rate_for_utilization(float("nan"), requests)
+        with pytest.raises(ValueError, match="positive and finite"):
+            rate_for_utilization(-5.0, requests)
+
+    def test_poisson_empty_trace(self):
+        with pytest.raises(ValueError, match="empty request list"):
+            poisson_arrivals([], rate=1.0)
+
+    def test_poisson_nonfinite_rate(self):
+        trace = [Request("a", 10, 10)]
+        with pytest.raises(ValueError, match="positive and finite"):
+            poisson_arrivals(trace, rate=float("inf"))
+        with pytest.raises(ValueError, match="positive and finite"):
+            poisson_arrivals(trace, rate=float("nan"))
+
+    def test_diurnal_empty_trace(self):
+        with pytest.raises(ValueError, match="empty request list"):
+            diurnal_arrivals([], mean_rate=1.0)
+
+    def test_diurnal_nonfinite_rate(self):
+        trace = [Request("a", 10, 10)]
+        with pytest.raises(ValueError, match="positive and finite"):
+            diurnal_arrivals(trace, mean_rate=float("nan"))
