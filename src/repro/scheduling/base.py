@@ -139,9 +139,11 @@ class Scheduler(abc.ABC):
         pipeline = self._build_pipeline(input_len)
         if pipeline is None:
             return None
-        for stage in pipeline.stages:
-            self.kv.charge(stage.node_id, input_len)
-            self.outstanding[stage.node_id] = self.outstanding.get(stage.node_id, 0) + 1
+        outstanding = self.outstanding
+        node_ids = [stage.node_id for stage in pipeline.stages]
+        self.kv.charge_pipeline(node_ids, input_len)
+        for node_id in node_ids:
+            outstanding[node_id] = outstanding.get(node_id, 0) + 1
         self._active[request_id] = pipeline
         self._active_input_len[request_id] = input_len
         return pipeline
@@ -194,11 +196,11 @@ class Scheduler(abc.ABC):
         if pipeline is None:
             return
         input_len = self._active_input_len.pop(request_id)
-        for stage in pipeline.stages:
-            self.kv.release(stage.node_id, input_len)
-            self.outstanding[stage.node_id] = max(
-                0, self.outstanding.get(stage.node_id, 0) - 1
-            )
+        outstanding = self.outstanding
+        node_ids = [stage.node_id for stage in pipeline.stages]
+        self.kv.release_pipeline(node_ids, input_len)
+        for node_id in node_ids:
+            outstanding[node_id] = max(0, outstanding.get(node_id, 0) - 1)
 
     def notify_failed(self, request_id: str) -> None:
         """Release a *failed* request's charges so it can be rescheduled.

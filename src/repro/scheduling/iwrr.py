@@ -11,11 +11,18 @@ which is exactly the interleaving property IWRR provides.
 
 Weights may be floats (flows in tokens/second). Candidates may be masked
 per call; a fully-masked selector returns ``None``.
+
+``select`` runs once per pipeline stage of every scheduling attempt, which
+makes it hot under flooded admission retries, so it is allocation-free: the
+candidate order and the unmasked weight total are cached at construction
+(invalidated by :meth:`update_weight`) and a masked call walks the cached
+order testing membership instead of building per-call lists and sets. The
+selection sequence is identical to the original formulation.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable
+from typing import Container, Hashable, Iterable
 
 
 class InterleavedWeightedRoundRobin:
@@ -26,14 +33,25 @@ class InterleavedWeightedRoundRobin:
             non-positive weight are dropped at construction.
     """
 
+    __slots__ = ("_weights", "_credit", "_order", "_total")
+
     def __init__(self, weights: dict[Hashable, float]) -> None:
         self._weights = {c: float(w) for c, w in weights.items() if w > 0.0}
         self._credit = {c: 0.0 for c in self._weights}
+        self._refresh_cache()
+
+    def _refresh_cache(self) -> None:
+        """Rebuild the cached candidate order and total weight."""
+        self._order = tuple(self._weights)
+        total = 0.0
+        for candidate in self._order:
+            total += self._weights[candidate]
+        self._total = total
 
     @property
     def candidates(self) -> list[Hashable]:
         """Live candidates (positive weight), in insertion order."""
-        return list(self._weights)
+        return list(self._order)
 
     @property
     def weights(self) -> dict[Hashable, float]:
@@ -53,23 +71,39 @@ class InterleavedWeightedRoundRobin:
         Returns:
             The selected candidate, or ``None`` if no candidate is allowed.
         """
-        if allowed is None:
-            pool = list(self._weights)
-        else:
-            allowed_set = set(allowed)
-            pool = [c for c in self._weights if c in allowed_set]
-        if not pool:
-            return None
-
-        total = sum(self._weights[c] for c in pool)
+        weights = self._weights
+        credit = self._credit
         best = None
-        best_credit = float("-inf")
-        for candidate in pool:
-            self._credit[candidate] += self._weights[candidate]
-            if self._credit[candidate] > best_credit:
-                best_credit = self._credit[candidate]
-                best = candidate
-        self._credit[best] -= total
+        best_credit = -1.0
+        first = True
+        if allowed is None:
+            for candidate in self._order:
+                new_credit = credit[candidate] + weights[candidate]
+                credit[candidate] = new_credit
+                if first or new_credit > best_credit:
+                    best_credit = new_credit
+                    best = candidate
+                    first = False
+            if first:
+                return None
+            credit[best] -= self._total
+            return best
+        if not isinstance(allowed, Container) or isinstance(allowed, str):
+            allowed = tuple(allowed)  # single-pass iterables need buffering
+        total = 0.0
+        for candidate in self._order:
+            if candidate in allowed:
+                weight = weights[candidate]
+                total += weight
+                new_credit = credit[candidate] + weight
+                credit[candidate] = new_credit
+                if first or new_credit > best_credit:
+                    best_credit = new_credit
+                    best = candidate
+                    first = False
+        if first:
+            return None
+        credit[best] -= total
         return best
 
     def update_weight(self, candidate: Hashable, weight: float) -> None:
@@ -80,3 +114,4 @@ class InterleavedWeightedRoundRobin:
         else:
             self._weights.pop(candidate, None)
             self._credit.pop(candidate, None)
+        self._refresh_cache()

@@ -10,9 +10,10 @@ Charges are released when the request finishes.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 
-@dataclass
+@dataclass(slots=True)
 class _NodeKVState:
     capacity_tokens: int
     estimated_tokens: float = 0.0
@@ -71,6 +72,30 @@ class KVCacheEstimator:
             state.estimated_tokens = max(
                 0.0, state.estimated_tokens - self.estimate_for(input_len)
             )
+
+    def charge_pipeline(self, node_ids: Iterable[str], input_len: int) -> None:
+        """Charge one request's footprint on every node of its pipeline.
+
+        Same arithmetic as calling :meth:`charge` per node, with the
+        estimate computed once — this runs on every scheduling attempt, so
+        the admission-retry storm of a flooded run stays cheap.
+        """
+        estimate = input_len + self.expected_output_len
+        nodes = self._nodes
+        for node_id in node_ids:
+            state = nodes.get(node_id)
+            if state is not None:
+                state.estimated_tokens += estimate
+
+    def release_pipeline(self, node_ids: Iterable[str], input_len: int) -> None:
+        """Release one request's footprint from every node of its pipeline."""
+        estimate = input_len + self.expected_output_len
+        nodes = self._nodes
+        for node_id in node_ids:
+            state = nodes.get(node_id)
+            if state is not None:
+                estimated = state.estimated_tokens - estimate
+                state.estimated_tokens = estimated if estimated > 0.0 else 0.0
 
     def occupancy(self, node_id: str) -> float:
         """Estimated occupancy fraction of a node (0 when unknown)."""

@@ -23,6 +23,7 @@ from repro.sim.metrics import (
     ServingMetrics,
     LatencyStats,
     DisruptionReport,
+    TokenTimeline,
     disruption_report,
     goodput_timeline,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "ServingMetrics",
     "LatencyStats",
     "DisruptionReport",
+    "TokenTimeline",
     "disruption_report",
     "goodput_timeline",
     "Simulation",

@@ -192,6 +192,60 @@ def aggregate_metrics(
 
 
 # ----------------------------------------------------------------------
+# Online token-timeline accumulation
+# ----------------------------------------------------------------------
+class TokenTimeline:
+    """Fixed-width-bucket accumulator of token emission times.
+
+    The simulator used to append one float per emitted token to a global
+    timeline — O(tokens) memory that dominates long traces. This
+    accumulator folds each token into a bucket counter online, so memory
+    is bounded by ``horizon / resolution`` regardless of trace length,
+    while :meth:`times` stays available as a derived view for existing
+    consumers (each token is reported at its bucket's start time).
+
+    ``resolution`` must be positive and should be a power of two (the
+    default is 1/16 s): bucket boundaries are then exact binary floats,
+    which makes :func:`goodput_timeline` over the derived view return
+    bit-identical bucket counts to the exact timeline for any window that
+    is a positive integer multiple of the resolution (all windows used by
+    the repo's reports: 0.25, 1.0, 2.0, 3.0).
+    """
+
+    __slots__ = ("resolution", "_inv", "_counts", "count")
+
+    def __init__(self, resolution: float = 0.0625) -> None:
+        if not (resolution > 0.0) or not math.isfinite(resolution):
+            raise ValueError(f"resolution must be positive, got {resolution}")
+        self.resolution = resolution
+        self._inv = 1.0 / resolution
+        self._counts: list[int] = []
+        self.count = 0
+
+    def add(self, when: float) -> None:
+        """Record one token emitted at time ``when`` (>= 0)."""
+        index = int(when * self._inv)
+        counts = self._counts
+        if index >= len(counts):
+            counts.extend([0] * (index + 1 - len(counts)))
+        counts[index] += 1
+        self.count += 1
+
+    def bucket_counts(self) -> list[int]:
+        """Token counts per bucket (bucket i covers ``[i*r, (i+1)*r)``)."""
+        return list(self._counts)
+
+    def times(self) -> list[float]:
+        """Derived per-token view: each token at its bucket start time."""
+        resolution = self.resolution
+        out: list[float] = []
+        for index, count in enumerate(self._counts):
+            if count:
+                out.extend([index * resolution] * count)
+        return out
+
+
+# ----------------------------------------------------------------------
 # Disruption metrics (online dynamics)
 # ----------------------------------------------------------------------
 def goodput_timeline(

@@ -5,6 +5,13 @@ occupies it for ``bytes / bandwidth`` seconds, and arrives one propagation
 latency later. Queueing delay (waiting for the link) is tracked separately
 so experiments can report per-link congestion, as the paper's §6.7 case
 study does for its "congestion" links.
+
+The simulator's hot loop inlines the transmit arithmetic against the
+channel's public fields (``next_free_time``, ``bandwidth``, ``latency``,
+and the stat accumulators) rather than calling :meth:`transmit` per
+message; both paths perform the identical float operations in the
+identical order. ``bandwidth``/``latency`` mirror ``link`` and are kept in
+sync through :meth:`set_link` (live link degradation/repair).
 """
 
 from __future__ import annotations
@@ -14,12 +21,19 @@ from dataclasses import dataclass, field
 from repro.cluster.network import Link
 
 
-@dataclass
+@dataclass(eq=False, slots=True)
 class LinkChannel:
     """Runtime state of one directed link.
 
+    Channels compare (and hash) by identity — each is the unique runtime
+    state of one directed link, and the simulator keys hot-path tables by
+    channel object.
+
     Attributes:
         link: The static link description.
+        bandwidth: Cached ``link.bandwidth`` (kept in sync by
+            :meth:`set_link`).
+        latency: Cached ``link.latency``.
     """
 
     link: Link
@@ -28,6 +42,18 @@ class LinkChannel:
     messages_sent: int = 0
     total_queueing_delay: float = 0.0
     max_queueing_delay: float = 0.0
+    bandwidth: float = field(init=False)
+    latency: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.bandwidth = self.link.bandwidth
+        self.latency = self.link.latency
+
+    def set_link(self, link: Link) -> None:
+        """Swap the underlying link (degradation/repair) atomically."""
+        self.link = link
+        self.bandwidth = link.bandwidth
+        self.latency = link.latency
 
     def transmit(self, now: float, num_bytes: float) -> float:
         """Enqueue a message at time ``now``; returns its arrival time."""

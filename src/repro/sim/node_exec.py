@@ -7,6 +7,13 @@ periods", §5.1). Batch wall time comes from the profiler's roofline —
 compute proportional to token-layers plus one streaming read of the
 resident weights — so the simulator's node behaviour is consistent with the
 ``T_j`` constants the planner optimized against.
+
+For the simulator's hot loop the executor precomputes the roofline
+constants once at construction (``compute_rate``, ``weights_time``,
+``overhead``): the inner loop then prices a batch with two float adds and a
+division instead of a :class:`~repro.cluster.profiler.Profiler` call. The
+precomputed path evaluates the identical expression in the identical
+association order, so the two agree bit-for-bit (asserted in tests).
 """
 
 from __future__ import annotations
@@ -18,7 +25,7 @@ from repro.cluster.profiler import Profiler
 from repro.models.specs import ModelSpec
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StageWork:
     """One request-iteration's work at one pipeline stage.
 
@@ -31,6 +38,22 @@ class StageWork:
         is_prompt: Whether this is the prompt-phase iteration.
         attempt: The owning request's attempt number; work minted by a
             disrupted attempt is dropped when its batch completes.
+        tl: Work contribution in integer token-layer units
+            (``num_tokens * num_layers``), precomputed for the simulator's
+            batch pricing; 0 when constructed outside the simulator.
+        owner: The simulator's live-request state this work belongs to
+            (``None`` outside the simulator). Lets the hot loop reach the
+            request without a dict lookup.
+        hop: The simulator's hop-table entry for this (pipeline, stage)
+            (``None`` outside the simulator): executor, KV pool, and
+            outbound channel resolved once at schedule time.
+        next: The work this stage forwards to — the next stage's work of
+            the same phase, or the work itself at the final stage (token
+            return). Set by the simulator via ``object.__setattr__``.
+
+    The simulator builds one prompt work and one decode work per
+    (attempt, stage) and re-enqueues the same frozen objects every decode
+    iteration, so steady-state decode allocates no work objects at all.
     """
 
     request_id: str
@@ -39,6 +62,10 @@ class StageWork:
     num_layers: int
     is_prompt: bool
     attempt: int = 0
+    tl: int = field(default=0, compare=False, repr=False)
+    owner: object = field(default=None, compare=False, repr=False)
+    hop: object = field(default=None, compare=False, repr=False)
+    next: object = field(default=None, compare=False, repr=False)
 
     @property
     def token_layers(self) -> float:
@@ -46,7 +73,7 @@ class StageWork:
         return float(self.num_tokens * self.num_layers)
 
 
-@dataclass
+@dataclass(slots=True)
 class _BatchStats:
     batches: int = 0
     busy_time: float = 0.0
@@ -66,6 +93,12 @@ class NodeExecutor:
             a batch takes everything queued (the paper's policy).
     """
 
+    __slots__ = (
+        "node", "node_id", "model", "profiler", "resident_layers",
+        "max_batch_tokens", "queue", "queue_tokens", "queue_tl", "busy", "stats",
+        "epoch", "compute_rate", "weights_time", "overhead",
+    )
+
     def __init__(
         self,
         node: ComputeNode,
@@ -81,18 +114,38 @@ class NodeExecutor:
         if max_batch_tokens is not None and max_batch_tokens < 1:
             raise ValueError("max_batch_tokens must be >= 1 when set")
         self.node = node
+        self.node_id = node.node_id
         self.model = model
         self.profiler = profiler
         self.resident_layers = resident_layers
         self.max_batch_tokens = max_batch_tokens
         self.queue: list[StageWork] = []
+        #: Token and token-layer totals of the queued works, kept in sync
+        #: by every enqueue site so a batch that fits the cap skips the
+        #: per-item scan and is priced without touching its works.
+        self.queue_tokens = 0
+        self.queue_tl = 0
         self.busy = False
         self.stats = _BatchStats()
+        #: Bumped when the node fails or is re-bound; completions carrying
+        #: a stale epoch fall on the floor.
+        self.epoch = 0
+        # Hot-loop roofline constants: batch time for ``tl`` token-layers is
+        # ``tl / compute_rate + weights_time + overhead`` — the same
+        # expression, in the same association order, as
+        # ``Profiler.batch_time``.
+        self.compute_rate = profiler.compute_rate(node, model)
+        self.weights_time = resident_layers * profiler.weight_read_time(
+            node, model
+        )
+        self.overhead = profiler.batch_overhead
 
     # ------------------------------------------------------------------
     def enqueue(self, work: StageWork) -> None:
         """Add work to the node's input queue."""
         self.queue.append(work)
+        self.queue_tokens += work.num_tokens
+        self.queue_tl += work.tl
 
     def has_work(self) -> bool:
         """Whether the queue is non-empty."""
@@ -104,20 +157,33 @@ class NodeExecutor:
         Always returns at least one item when work is queued, even if that
         single item exceeds the token cap (a long prompt must still run).
         """
-        if not self.queue:
+        queue = self.queue
+        if not queue:
             return []
-        if self.max_batch_tokens is None:
-            batch = self.queue
+        cap = self.max_batch_tokens
+        if cap is None or self.queue_tokens <= cap:
             self.queue = []
-            return batch
-        batch: list[StageWork] = []
-        tokens = 0
-        while self.queue:
-            item = self.queue[0]
-            if batch and tokens + item.num_tokens > self.max_batch_tokens:
+            self.queue_tokens = 0
+            self.queue_tl = 0
+            return queue
+        cut = 1
+        tokens = queue[0].num_tokens
+        tl = queue[0].tl
+        for item in queue[1:]:
+            if tokens + item.num_tokens > cap:
                 break
-            batch.append(self.queue.pop(0))
             tokens += item.num_tokens
+            tl += item.tl
+            cut += 1
+        if cut == len(queue):
+            self.queue = []
+            self.queue_tokens = 0
+            self.queue_tl = 0
+            return queue
+        batch = queue[:cut]
+        del queue[:cut]
+        self.queue_tokens -= tokens
+        self.queue_tl -= tl
         return batch
 
     def batch_time(self, batch: list[StageWork]) -> float:

@@ -1,4 +1,4 @@
-"""The discrete-event serving simulation.
+"""The discrete-event serving simulation (hop-table engine).
 
 One :class:`Simulation` wires together a cluster, a model placement, a
 scheduler, and a request trace, then plays the serving system forward:
@@ -15,6 +15,44 @@ scheduler, and a request trace, then plays the serving system forward:
 Nodes batch dynamically (everything queued joins the next batch), links
 are FIFO bandwidth/latency queues, and KV pools track true occupancy.
 
+Engine design (the hot-path overhaul; the pre-overhaul engine survives as
+:class:`repro.sim._legacy_reference.LegacySimulation` for differential
+testing and benchmarking):
+
+* **Hop tables.** At schedule time each request resolves its pipeline
+  once into a list of :class:`_Hop` entries — executor, KV pool, outbound
+  channel, and the precomputed roofline batch-time constants — so the
+  inner loop performs zero ``Profiler`` calls and no per-event dict
+  lookups by node/request id. One prompt and one decode
+  :class:`~repro.sim.node_exec.StageWork` are built per (attempt, stage)
+  and re-enqueued every iteration: steady-state decode allocates no work
+  objects.
+* **Int-coded events.** Heap entries are ``(when, seq, kind, payload)``
+  with integer kinds; ``seq`` is a global monotone counter allocated one
+  per *logical* event, so event ordering — including exact-time ties — is
+  identical whether or not hops are grouped.
+* **Hop groups (decode coalescing).** When a batch completes, the works
+  forwarded over one FIFO channel arrive contiguously; they are carried
+  in one *group event* instead of one heap event per hop. A group drains
+  work-by-work at each work's true arrival time but pauses — re-pushing
+  its remainder — the moment any other event (a new arrival, a churn
+  callback, another node's batch) is due first, so any contention change
+  invalidates the window and falls back to per-hop stepping.  Group
+  handlers replay the identical float operations in the identical order
+  as per-hop stepping, which makes the two modes bit-identical
+  (``coalescing=False`` forces per-hop events; the differential suite
+  asserts exact equality across the scenario matrix).
+* **Closed-window fast-forward.** When exactly one request is live, the
+  pending queue is empty, and its executors are idle, nothing can happen
+  before the next scheduled heap event except the request's own decode
+  chain: those iterations are computed in one tight loop (one
+  macro-step) with no heap traffic at all, stopping exactly at finish,
+  the ``max_time`` horizon, or the next event's time — where the one
+  in-flight hop is re-materialized into the heap and stepping resumes.
+* **Bounded timeline.** The global token timeline accumulates into
+  fixed-width buckets (:class:`~repro.sim.metrics.TokenTimeline`) online
+  instead of appending one float per token forever.
+
 The loop also supports *online dynamics* (the ``repro.online`` package):
 environment events scheduled with :meth:`Simulation.schedule_event` can
 fail and restore nodes, degrade links, and hot-swap a replanned placement
@@ -25,12 +63,13 @@ dropped cleanly when the request re-enters the pending queue.
 
 from __future__ import annotations
 
-import heapq
-import itertools
 import math
+from bisect import bisect_right
 from collections import deque
-from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Callable
+
+import numpy as _np
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.node import COORDINATOR
@@ -40,21 +79,115 @@ from repro.models.specs import ModelSpec
 from repro.scheduling.base import Scheduler
 from repro.scheduling.pipelines import RequestPipeline
 from repro.sim.kv_cache import KVCachePool
-from repro.sim.metrics import RequestRecord, ServingMetrics, aggregate_metrics
+from repro.sim.metrics import (
+    RequestRecord,
+    ServingMetrics,
+    TokenTimeline,
+    aggregate_metrics,
+)
 from repro.sim.network_sim import LinkChannel
 from repro.sim.node_exec import NodeExecutor, StageWork
 from repro.sim.request import Request
 
+# Integer event kinds (heap entries are ``(when, seq, kind, payload)``).
+K_ARRIVAL = 0  #: a trace request reaches the coordinator
+K_GROUP = 1    #: contiguous stage arrivals on one channel (hop group)
+K_BATCH = 2    #: a node finishes executing one batch
+K_TOKEN = 3    #: contiguous token deliveries to the coordinator
+K_ENV = 4      #: an environment callback (online dynamics)
 
-@dataclass
+#: Minimum same-channel single-token run length worth the numpy setup cost
+#: in the batch-forwarding loop.
+_VEC_MIN = 16
+
+
+class _Hop:
+    """One resolved pipeline hop: everything the hot loop needs, no dicts.
+
+    ``decode_time`` caches the single-token batch time on this hop's
+    executor (same expression and association order as
+    ``Profiler.batch_time``, so it is bit-identical); ``decode_tl`` is the
+    matching integer token-layer count.
+    """
+
+    __slots__ = (
+        "executor", "pool", "node_id", "channel", "final", "stage_index",
+        "decode_time", "decode_tl",
+    )
+
+    def __init__(self, executor, pool, node_id, channel, final, stage_index):
+        self.executor = executor
+        self.pool = pool
+        self.node_id = node_id
+        self.channel = channel
+        self.final = final
+        self.stage_index = stage_index
+
+
+class _HopGroup:
+    """A run of contiguous arrivals on one FIFO channel (one heap event).
+
+    ``times``/``seqs``/``works`` are parallel arrays; ``index`` is the
+    drain cursor. ``seqs`` carries the per-work event sequence numbers, so
+    exact-time ties order identically to per-hop stepping.
+    """
+
+    __slots__ = ("kind", "times", "seqs", "works", "index")
+
+    def __init__(self, kind: int) -> None:
+        self.kind = kind
+        self.times: list[float] = []
+        self.seqs: list[int] = []
+        self.works: list[StageWork] = []
+        self.index = 0
+
+
 class _ActiveRequest:
-    request: Request
-    pipeline: RequestPipeline
-    record: RequestRecord
-    attempt: int = 0
-    # Tokens of KV the attempt has actually allocated on each node; freed
-    # exactly on finish or disruption.
-    kv_per_node: dict[str, int] = field(default_factory=dict)
+    """Live state of one scheduled request attempt."""
+
+    __slots__ = (
+        "request", "request_id", "pipeline", "record", "attempt", "live",
+        "hops", "entry_channel", "prompt_works", "decode_works", "done",
+        "output_len",
+    )
+
+    def __init__(self, request, pipeline, record, attempt):
+        self.request = request
+        self.request_id = request.request_id
+        self.pipeline = pipeline
+        self.record = record
+        self.attempt = attempt
+        self.live = True
+        self.output_len = request.output_len
+        # Total stage completions of this attempt. A request's iterations
+        # are strictly sequential (at most one in-flight work ever), so
+        # completions happen in pipeline order: the first ``depth`` are the
+        # prompt phase, every later one a decode hop. The exact KV tokens
+        # the attempt holds on each stage — freed on finish or disruption —
+        # are therefore derivable from this single counter (see
+        # ``kv_allocated``), replacing a per-stage counter update on every
+        # hop of every token.
+        self.done = 0
+        self.hops: list[_Hop] = []
+        self.entry_channel: LinkChannel | None = None
+        self.prompt_works: list[StageWork] = []
+        self.decode_works: list[StageWork] = []
+
+    def kv_allocated(self, stage_index: int) -> int:
+        """KV tokens this attempt has allocated on ``stage_index``.
+
+        Mirrors the per-batch pool allocations exactly: the prompt batch
+        charged ``input_len`` once on every completed stage, and each
+        completed decode hop charged one token.
+        """
+        depth = len(self.hops)
+        done = self.done
+        prompt = self.request.input_len if stage_index < min(done, depth) else 0
+        decode_done = done - depth
+        if decode_done <= 0:
+            return prompt
+        q, r = divmod(decode_done, depth)
+        return prompt + q + (1 if stage_index < r else 0)
 
 
 class Simulation:
@@ -79,6 +212,15 @@ class Simulation:
         controller: Optional online controller (see
             :class:`repro.online.OnlineController`); its ``start(sim)`` is
             called once before the event loop to inject environment events.
+        coalescing: Enable hop-group events and the closed-window decode
+            fast-forward. ``False`` forces one heap event per hop — the
+            bit-identical per-token reference the differential suite
+            compares against. Results are identical either way; only the
+            wall-clock speed differs.
+        timeline_resolution: Bucket width (seconds) of the global token
+            timeline; keep it a power of two so windowed goodput over the
+            derived view matches the exact timeline (see
+            :class:`~repro.sim.metrics.TokenTimeline`).
     """
 
     def __init__(
@@ -94,6 +236,8 @@ class Simulation:
         warmup: float = 0.0,
         seed: int | None = None,
         controller=None,
+        coalescing: bool = True,
+        timeline_resolution: float = 0.0625,
     ) -> None:
         if not requests:
             raise SimulationError("request trace is empty")
@@ -109,7 +253,6 @@ class Simulation:
         self.controller = controller
 
         self.requests = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
-        self._node_epoch: dict[str, int] = {nid: 0 for nid in cluster.node_ids}
         self.executors: dict[str, NodeExecutor] = {}
         self.kv_pools: dict[str, KVCachePool] = {}
         for node_id in placement.used_nodes:
@@ -118,25 +261,50 @@ class Simulation:
             key: LinkChannel(link) for key, link in cluster.links.items()
         }
 
-        self._events: list[tuple[float, int, str, object]] = []
-        self._seq = itertools.count()
+        self._events: list[tuple] = []
+        self._seq = 0  # global event sequence number (tie-break order)
         self._now = 0.0
+        self._halt = False
         self._active: dict[str, _ActiveRequest] = {}
         self._pending: deque[Request] = deque()
         self._records: dict[str, RequestRecord] = {}
         self._pipeline_depths: list[int] = []
         self._last_token_time = 0.0
-        self._token_timeline: list[float] = []
+        self._timeline = TokenTimeline(timeline_resolution)
         self._down_nodes: set[str] = set()
         self._base_bandwidth: dict[tuple[str, str], float] = {}
         for node_id in cluster.down_node_ids:
             self._down_nodes.add(node_id)
             self.scheduler.mark_node_down(node_id)
 
+        # Hot-loop constants and state.
+        self._coalesce = coalescing
+        self._token_bytes = model.token_bytes
+        self._abpt = model.activation_bytes_per_token
+        self._scratch: dict[LinkChannel, _HopGroup] = {}
+        # True once any attempt was disrupted; until then every in-flight
+        # work provably belongs to a live attempt and the per-work
+        # staleness checks are skipped.
+        self._disrupted = False
+        # Schedulers that keep the base class's no-op progress hook skip
+        # the per-batch callback entirely.
+        self._notify_progress = (
+            type(scheduler).notify_node_progress
+            is not Scheduler.notify_node_progress
+        )
+        # Engine telemetry (for benchmarks and tests).
+        self.events_popped = 0
+        self.grouped_hops = 0
+        self.fast_forwarded_tokens = 0
+
     def _bind_node(self, node_id: str) -> None:
         """Create (or re-create) the executor and KV pool for a used node."""
         node = self.cluster.node(node_id)
         stage = self.placement.interval(node_id)
+        old_executor = self.executors.get(node_id)
+        if old_executor is not None:
+            # In-flight batches of the replaced executor must go stale.
+            old_executor.epoch += 1
         self.executors[node_id] = NodeExecutor(
             node, self.model, self.profiler, stage.num_layers,
             self.max_batch_tokens,
@@ -154,18 +322,10 @@ class Simulation:
             pool.overflow_events = old_pool.overflow_events
             pool.peak_tokens = old_pool.peak_tokens
         self.kv_pools[node_id] = pool
-        self._node_epoch.setdefault(node_id, 0)
 
     # ------------------------------------------------------------------
     # Event plumbing
     # ------------------------------------------------------------------
-    def _push(self, when: float, kind: str, payload: object) -> None:
-        if when < self._now - 1e-9:
-            raise SimulationError(
-                f"event {kind!r} scheduled in the past ({when} < {self._now})"
-            )
-        heapq.heappush(self._events, (when, next(self._seq), kind, payload))
-
     def schedule_event(
         self, when: float, fn: Callable[["Simulation"], None]
     ) -> None:
@@ -175,32 +335,49 @@ class Simulation:
         failures, recoveries, link degradations, replan applications —
         into the event loop.
         """
-        self._push(when, "env", fn)
+        if when < self._now - 1e-9:
+            raise SimulationError(
+                f"event 'env' scheduled in the past ({when} < {self._now})"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._events, (when, seq, K_ENV, fn))
 
     def run(self) -> ServingMetrics:
         """Play the trace and return aggregate metrics."""
         if self.controller is not None:
             self.controller.start(self)
+        events = self._events
+        seq = self._seq
         for request in self.requests:
-            self._push(request.arrival_time, "arrival", request)
+            heappush(events, (request.arrival_time, seq, K_ARRIVAL, request))
+            seq += 1
+        self._seq = seq
 
-        while self._events:
-            when, _, kind, payload = heapq.heappop(self._events)
-            if when > self.max_time:
+        max_time = self.max_time
+        pops = 0
+        while events:
+            item = heappop(events)
+            when = item[0]
+            if when > max_time:
                 break
+            pops += 1
             self._now = when
-            if kind == "arrival":
-                self._on_arrival(payload)
-            elif kind == "stage":
-                self._on_stage_arrival(*payload)
-            elif kind == "batch":
+            kind = item[2]
+            if kind == K_GROUP:
+                self._on_group(item[3])
+            elif kind == K_BATCH:
+                payload = item[3]
                 self._on_batch_complete(*payload)
-            elif kind == "token":
-                self._on_token(*payload)
-            elif kind == "env":
-                payload(self)
-            else:  # pragma: no cover - defensive
-                raise SimulationError(f"unknown event kind {kind!r}")
+            elif kind == K_TOKEN:
+                self._on_token_group(item[3])
+            elif kind == K_ARRIVAL:
+                self._on_arrival(item[3])
+            else:
+                item[3](self)
+            if self._halt:
+                break
+        self.events_popped += pops
 
         end_time = min(self._now, self.max_time)
         end_time = max(end_time, self.warmup + 1e-9)
@@ -238,9 +415,73 @@ class Simulation:
         active = _ActiveRequest(
             request=request, pipeline=pipeline, record=record, attempt=attempt
         )
+        self._build_hops(active)
         self._active[request.request_id] = active
-        self._start_iteration(active, is_prompt=True)
+        self._start_prompt(active)
         return True
+
+    def _build_hops(self, active: _ActiveRequest) -> None:
+        """Resolve the pipeline into hop-table entries and reusable works.
+
+        Raises ``SimulationError`` when a pipeline hop has no link — the
+        same condition the per-hop engine reports at transmit time, caught
+        here once instead of per message.
+        """
+        stages = active.pipeline.stages
+        depth = len(stages)
+        rid = active.request_id
+        attempt = active.attempt
+        input_len = active.request.input_len
+        channels = self.channels
+        hops = active.hops
+        prompt_works = active.prompt_works
+        decode_works = active.decode_works
+        for index, stage in enumerate(stages):
+            node_id = stage.node_id
+            executor = self.executors[node_id]
+            pool = self.kv_pools[node_id]
+            if index + 1 < depth:
+                key = (node_id, stages[index + 1].node_id)
+                final = False
+            else:
+                key = (node_id, COORDINATOR)
+                final = True
+            channel = channels.get(key)
+            if channel is None:
+                raise SimulationError(
+                    f"no link {key[0]!r}->{key[1]!r} for transmission"
+                )
+            hop = _Hop(executor, pool, node_id, channel, final, index)
+            num_layers = stage.num_layers
+            hop.decode_tl = num_layers
+            hop.decode_time = (
+                num_layers / executor.compute_rate
+                + executor.weights_time
+                + executor.overhead
+            )
+            hops.append(hop)
+            prompt_works.append(StageWork(
+                rid, index, input_len, num_layers, True, attempt,
+                tl=input_len * num_layers, owner=active, hop=hop,
+            ))
+            decode_works.append(StageWork(
+                rid, index, 1, num_layers, False, attempt,
+                tl=num_layers, owner=active, hop=hop,
+            ))
+        # Chain each work to the one its stage forwards to (itself at the
+        # final stage: the token returns to the coordinator carrying the
+        # same owner/attempt identity).
+        for index in range(depth):
+            nxt = index + 1 if index + 1 < depth else index
+            object.__setattr__(prompt_works[index], "next", prompt_works[nxt])
+            object.__setattr__(decode_works[index], "next", decode_works[nxt])
+        entry_key = (COORDINATOR, stages[0].node_id)
+        entry = channels.get(entry_key)
+        if entry is None:
+            raise SimulationError(
+                f"no link {entry_key[0]!r}->{entry_key[1]!r} for transmission"
+            )
+        active.entry_channel = entry
 
     def _retry_pending(self) -> None:
         while self._pending:
@@ -249,129 +490,722 @@ class Simulation:
                 return
             self._pending.popleft()
 
-    def _start_iteration(self, active: _ActiveRequest, is_prompt: bool) -> None:
-        first_node = active.pipeline.stages[0].node_id
-        num_tokens = active.request.input_len if is_prompt else 1
-        message_bytes = num_tokens * self.model.token_bytes
-        arrival = self._transmit(COORDINATOR, first_node, message_bytes)
-        self._push(
-            arrival,
-            "stage",
-            (active.request.request_id, active.attempt, 0, is_prompt),
-        )
+    def _start_prompt(self, active: _ActiveRequest) -> None:
+        """Ship the prompt to the first stage (one single-entry group)."""
+        num_bytes = active.request.input_len * self._token_bytes
+        arrival = active.entry_channel.transmit(self._now, num_bytes)
+        group = _HopGroup(K_GROUP)
+        group.times.append(arrival)
+        seq = self._seq
+        self._seq = seq + 1
+        group.seqs.append(seq)
+        group.works.append(active.prompt_works[0])
+        heappush(self._events, (arrival, group.seqs[0], K_GROUP, group))
 
-    def _transmit(self, src: str, dst: str, num_bytes: float) -> float:
-        channel = self.channels.get((src, dst))
-        if channel is None:
-            raise SimulationError(f"no link {src!r}->{dst!r} for transmission")
-        return channel.transmit(self._now, num_bytes)
+    # ------------------------------------------------------------------
+    # Hot loop: group drains, batches, tokens
+    # ------------------------------------------------------------------
+    def _on_group(self, group: _HopGroup) -> None:
+        """Drain contiguous stage arrivals, pausing behind earlier events."""
+        times = group.times
+        seqs = group.seqs
+        works = group.works
+        i = group.index
+        n = len(times)
+        events = self._events
+        max_time = self.max_time
+        disrupted = self._disrupted
+        # The heap top only changes when this drain starts a batch, so it
+        # is re-read only then instead of per work.
+        if events:
+            top = events[0]
+            top_t = top[0]
+            top_seq = top[1]
+        else:
+            top_t = math.inf
+            top_seq = 0
+        while True:
+            t = times[i]
+            if t > top_t or (t == top_t and seqs[i] > top_seq):
+                # A drain can only pause after processing at least one
+                # entry: the run loop popped this group as the heap
+                # minimum, so its first entry is never behind the top.
+                group.index = i
+                self._now = times[i - 1]
+                heappush(events, (t, seqs[i], K_GROUP, group))
+                return
+            if t > max_time:
+                group.index = i
+                self._now = times[i - 1]
+                self._halt = True
+                return
+            work = works[i]
+            if not disrupted:
+                executor = work.hop.executor
+                if executor.busy:
+                    # Arrivals at a busy executor are pure enqueues: take
+                    # the whole stretch due before the next heap event (or
+                    # the horizon) in one slice. All works of a group
+                    # target the same executor (one channel, one
+                    # destination), and nothing can flip it idle before
+                    # the next event pops.
+                    bound = top_t if top_t < max_time else max_time
+                    j = bisect_right(times, bound, i, n)
+                    while j > i and times[j - 1] == top_t and seqs[j - 1] > top_seq:
+                        j -= 1
+                    span = works[i:j]
+                    executor.queue.extend(span)
+                    tokens = 0
+                    tl = 0
+                    for peer in span:
+                        tokens += peer.num_tokens
+                        tl += peer.tl
+                    executor.queue_tokens += tokens
+                    executor.queue_tl += tl
+                    i = j
+                    if i == n:
+                        group.index = n
+                        self._now = times[n - 1]
+                        return
+                    continue  # the loop head re-checks pause/halt for i
+            i += 1
+            owner = work.owner
+            if not disrupted or (owner.live and owner.attempt == work.attempt):
+                executor = work.hop.executor
+                if executor.busy or executor.queue:
+                    executor.queue.append(work)
+                    executor.queue_tokens += work.num_tokens
+                    executor.queue_tl += work.tl
+                    if not executor.busy:
+                        self._now = t
+                        self._start_batch(executor)
+                        top = events[0]  # push above guarantees non-empty
+                        top_t = top[0]
+                        top_seq = top[1]
+                else:
+                    # Idle node, empty queue: the arrival is the batch.
+                    self._now = t
+                    executor.busy = True
+                    tl = work.tl
+                    elapsed = (
+                        tl / executor.compute_rate
+                        + executor.weights_time
+                        + executor.overhead
+                    )
+                    seq = self._seq
+                    self._seq = seq + 1
+                    heappush(
+                        events,
+                        (
+                            t + elapsed,
+                            seq,
+                            K_BATCH,
+                            (executor, executor.epoch, [work], elapsed,
+                             tl, work.num_tokens),
+                        ),
+                    )
+                    top = events[0]
+                    top_t = top[0]
+                    top_seq = top[1]
+            if i == n:
+                group.index = n
+                self._now = times[n - 1]
+                return
 
-    def _live_attempt(self, request_id: str, attempt: int) -> _ActiveRequest | None:
-        """The active request iff ``attempt`` is its current attempt.
-
-        Events minted by a disrupted attempt keep arriving after the
-        request was requeued (and possibly rescheduled); they must be
-        dropped, not applied to the new attempt. Truly unknown ids still
-        raise — that would be a simulator bug.
-        """
-        active = self._active.get(request_id)
-        if active is not None and active.attempt == attempt:
-            return active
-        if request_id not in self._records:
-            raise SimulationError(f"event for unknown request {request_id!r}")
-        return None
-
-    def _on_stage_arrival(
-        self, request_id: str, attempt: int, stage_index: int, is_prompt: bool
-    ) -> None:
-        active = self._live_attempt(request_id, attempt)
-        if active is None:
-            return  # stale: the attempt was disrupted mid-flight
-        stage = active.pipeline.stages[stage_index]
-        num_tokens = active.request.input_len if is_prompt else 1
-        work = StageWork(
-            request_id=request_id,
-            stage_index=stage_index,
-            num_tokens=num_tokens,
-            num_layers=stage.num_layers,
-            is_prompt=is_prompt,
-            attempt=attempt,
-        )
-        executor = self.executors[stage.node_id]
-        executor.enqueue(work)
-        if not executor.busy:
-            self._start_batch(stage.node_id)
-
-    def _start_batch(self, node_id: str) -> None:
-        executor = self.executors[node_id]
-        batch = executor.take_batch()
-        if not batch:
-            executor.busy = False
-            return
+    def _start_batch(self, executor: NodeExecutor) -> None:
+        cap = executor.max_batch_tokens
+        if cap is None or executor.queue_tokens <= cap:
+            batch = executor.queue
+            if not batch:
+                executor.busy = False
+                return
+            tl = executor.queue_tl
+            tokens = executor.queue_tokens
+            executor.queue = []
+            executor.queue_tokens = 0
+            executor.queue_tl = 0
+        else:
+            # Token-capped batch formation in one pass (same FIFO cut rule
+            # as NodeExecutor.take_batch, fused with the batch pricing).
+            queue = executor.queue
+            tokens = queue[0].num_tokens
+            tl = queue[0].tl
+            cut = 1
+            length = len(queue)
+            while cut < length:
+                item = queue[cut]
+                num_tokens = item.num_tokens
+                if tokens + num_tokens > cap:
+                    break
+                tokens += num_tokens
+                tl += item.tl
+                cut += 1
+            if cut == length:
+                batch = queue
+                executor.queue = []
+                executor.queue_tokens = 0
+                executor.queue_tl = 0
+            else:
+                batch = queue[:cut]
+                del queue[:cut]
+                executor.queue_tokens -= tokens
+                executor.queue_tl -= tl
         executor.busy = True
-        elapsed = executor.batch_time(batch)
-        self._push(
-            self._now + elapsed,
-            "batch",
-            (node_id, self._node_epoch[node_id], batch, elapsed),
+        elapsed = (
+            tl / executor.compute_rate
+            + executor.weights_time
+            + executor.overhead
+        )
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(
+            self._events,
+            (
+                self._now + elapsed,
+                seq,
+                K_BATCH,
+                (executor, executor.epoch, batch, elapsed, tl, tokens),
+            ),
         )
 
     def _on_batch_complete(
-        self, node_id: str, epoch: int, batch: list[StageWork], elapsed: float
+        self,
+        executor: NodeExecutor,
+        epoch: int,
+        batch: list[StageWork],
+        elapsed: float,
+        tl: int,
+        tokens: int,
     ) -> None:
-        if epoch != self._node_epoch[node_id]:
-            return  # the node failed while this batch was executing
-        executor = self.executors[node_id]
+        if epoch != executor.epoch:
+            return  # the node failed or was re-bound mid-batch
         executor.busy = False
-        executor.record_batch(batch, elapsed)
-        tokens = sum(work.num_tokens for work in batch)
-        self.scheduler.notify_node_progress(node_id, tokens, elapsed)
+        stats = executor.stats
+        stats.batches += 1
+        stats.busy_time += elapsed
+        stats.token_layers += tl
+        stats.tokens += tokens
+        if self._notify_progress:
+            self.scheduler.notify_node_progress(executor.node_id, tokens, elapsed)
 
-        for work in batch:
-            active = self._active.get(work.request_id)
-            if active is None or active.attempt != work.attempt:
+        now = self._now
+        disrupted = self._disrupted
+        coalesce = self._coalesce
+        scratch = self._scratch
+        events = self._events
+        seq = self._seq
+        token_bytes = self._token_bytes
+        abpt = self._abpt
+        # Run caches: consecutive works almost always share a pool (same
+        # stage) and a channel (same next hop); their mutable fields live
+        # in locals for the duration of the run and are written back when
+        # the run ends. The arithmetic (values and order) is unchanged.
+        pool = None
+        p_used = p_cap = p_peak = p_over = 0
+        channel = None
+        ch_nf = ch_bytes = ch_qd = ch_maxq = ch_bw = ch_lat = 0.0
+        ch_msgs = 0
+        final = False
+        kind = K_GROUP
+        g_times = g_seqs = g_works = None
+        n_works = len(batch)
+        # Long runs of single-token works on one channel (the steady-state
+        # decode cohort) vectorize: after the first transmit the channel is
+        # continuously busy, so every start time equals the previous end
+        # time and the whole chain is one strict left fold —
+        # np.add.accumulate reproduces it bit-for-bit (asserted in tests).
+        vec_ok = coalesce and not disrupted and n_works >= _VEC_MIN
+        scan_limit = 0
+        idx = 0
+        while idx < n_works:
+            work = batch[idx]
+            if vec_ok and idx >= scan_limit and work.num_tokens == 1:
+                hop = work.hop
+                run_channel = hop.channel
+                j = idx + 1
+                while j < n_works:
+                    peer = batch[j]
+                    if (
+                        peer.num_tokens != 1
+                        or peer.hop.channel is not run_channel
+                    ):
+                        break
+                    j += 1
+                k = j - idx
+                if k >= _VEC_MIN:
+                    # Write back the scalar run caches before going wide.
+                    if pool is not None:
+                        pool.used_tokens = p_used
+                        pool.peak_tokens = p_peak
+                        pool.overflow_events = p_over
+                        pool = None
+                    if channel is not None:
+                        channel.next_free_time = ch_nf
+                        channel.bytes_sent = ch_bytes
+                        channel.messages_sent = ch_msgs
+                        channel.total_queueing_delay = ch_qd
+                        channel.max_queueing_delay = ch_maxq
+                        channel = None
+                    run = batch[idx:j]
+                    run_pool = hop.pool
+                    used0 = run_pool.used_tokens
+                    used1 = used0 + k
+                    overflowed = used1 - run_pool.capacity_tokens
+                    if overflowed > 0:
+                        run_pool.overflow_events += (
+                            k if overflowed > k else overflowed
+                        )
+                    run_pool.used_tokens = used1
+                    if used1 > run_pool.peak_tokens:
+                        run_pool.peak_tokens = used1
+                    nx = []
+                    nx_append = nx.append
+                    for peer in run:
+                        peer.owner.done += 1
+                        nx_append(peer.next)
+                    run_final = hop.final
+                    num_bytes = token_bytes if run_final else 1 * abpt
+                    bw = run_channel.bandwidth
+                    transmission = num_bytes / bw
+                    nf = run_channel.next_free_time
+                    start = nf if nf > now else now
+                    chain = _np.empty(k)
+                    chain[0] = start + transmission
+                    chain[1:] = transmission
+                    ends = _np.add.accumulate(chain)
+                    queueing = _np.empty(k)
+                    queueing[0] = start - now
+                    queueing[1:] = ends[:-1] - now
+                    arrivals = ends + run_channel.latency
+                    run_channel.next_free_time = float(ends[-1])
+                    fold = _np.empty(k + 1)
+                    fold[0] = run_channel.bytes_sent
+                    fold[1:] = num_bytes
+                    run_channel.bytes_sent = float(_np.add.accumulate(fold)[-1])
+                    run_channel.messages_sent += k
+                    fold[0] = run_channel.total_queueing_delay
+                    fold[1:] = queueing
+                    run_channel.total_queueing_delay = float(
+                        _np.add.accumulate(fold)[-1]
+                    )
+                    top_queueing = float(queueing.max())
+                    if top_queueing > run_channel.max_queueing_delay:
+                        run_channel.max_queueing_delay = top_queueing
+                    group = scratch.get(run_channel)
+                    if group is None:
+                        group = _HopGroup(K_TOKEN if run_final else K_GROUP)
+                        scratch[run_channel] = group
+                    group.times.extend(arrivals.tolist())
+                    group.seqs.extend(range(seq, seq + k))
+                    seq += k
+                    group.works.extend(nx)
+                    idx = j
+                    continue
+                scan_limit = j  # short run: process it scalar, no rescans
+            idx += 1
+            owner = work.owner
+            if disrupted and not (
+                owner.live and owner.attempt == work.attempt
+            ):
                 continue  # finished under max_time truncation, or disrupted
+            hop = work.hop
+            num_tokens = work.num_tokens
             # KV grows on this node: the whole prompt once, then one token
             # per decode iteration.
-            self.kv_pools[node_id].allocate(work.num_tokens)
-            active.kv_per_node[node_id] = (
-                active.kv_per_node.get(node_id, 0) + work.num_tokens
-            )
-            next_index = work.stage_index + 1
-            if next_index < active.pipeline.depth:
-                next_node = active.pipeline.stages[next_index].node_id
-                size = work.num_tokens * self.model.activation_bytes_per_token
-                arrival = self._transmit(node_id, next_node, size)
-                self._push(
-                    arrival,
-                    "stage",
-                    (work.request_id, work.attempt, next_index, work.is_prompt),
-                )
+            p = hop.pool
+            if p is not pool:
+                if pool is not None:
+                    pool.used_tokens = p_used
+                    pool.peak_tokens = p_peak
+                    pool.overflow_events = p_over
+                pool = p
+                p_used = p.used_tokens
+                p_cap = p.capacity_tokens
+                p_peak = p.peak_tokens
+                p_over = p.overflow_events
+            p_used += num_tokens
+            if p_used > p_cap:
+                p_over += 1
+            if p_used > p_peak:
+                p_peak = p_used
+            owner.done += 1
+            # Forward on this hop's FIFO channel (inline transmit — the
+            # identical arithmetic LinkChannel.transmit performs).
+            ch = hop.channel
+            if ch is not channel:
+                if channel is not None:
+                    channel.next_free_time = ch_nf
+                    channel.bytes_sent = ch_bytes
+                    channel.messages_sent = ch_msgs
+                    channel.total_queueing_delay = ch_qd
+                    channel.max_queueing_delay = ch_maxq
+                channel = ch
+                ch_nf = ch.next_free_time
+                ch_bytes = ch.bytes_sent
+                ch_msgs = ch.messages_sent
+                ch_qd = ch.total_queueing_delay
+                ch_maxq = ch.max_queueing_delay
+                ch_bw = ch.bandwidth
+                ch_lat = ch.latency
+                final = hop.final
+                kind = K_TOKEN if final else K_GROUP
+                if coalesce:
+                    group = scratch.get(ch)
+                    if group is None:
+                        group = _HopGroup(kind)
+                        scratch[ch] = group
+                    g_times = group.times
+                    g_seqs = group.seqs
+                    g_works = group.works
+            num_bytes = token_bytes if final else num_tokens * abpt
+            start = ch_nf if ch_nf > now else now
+            queueing = start - now
+            transmission = num_bytes / ch_bw
+            end = start + transmission
+            ch_nf = end
+            ch_bytes += num_bytes
+            ch_msgs += 1
+            ch_qd += queueing
+            if queueing > ch_maxq:
+                ch_maxq = queueing
+            arrival = end + ch_lat
+            if coalesce:
+                g_times.append(arrival)
+                g_seqs.append(seq)
+                g_works.append(work.next)
             else:
-                arrival = self._transmit(
-                    node_id, COORDINATOR, self.model.token_bytes
+                group = _HopGroup(kind)
+                group.times.append(arrival)
+                group.seqs.append(seq)
+                group.works.append(work.next)
+                heappush(events, (arrival, seq, kind, group))
+            seq += 1
+        self._seq = seq
+        if pool is not None:
+            pool.used_tokens = p_used
+            pool.peak_tokens = p_peak
+            pool.overflow_events = p_over
+        if channel is not None:
+            channel.next_free_time = ch_nf
+            channel.bytes_sent = ch_bytes
+            channel.messages_sent = ch_msgs
+            channel.total_queueing_delay = ch_qd
+            channel.max_queueing_delay = ch_maxq
+        if coalesce and scratch:
+            for group in scratch.values():
+                heappush(
+                    events,
+                    (group.times[0], group.seqs[0], group.kind, group),
                 )
-                self._push(arrival, "token", (work.request_id, work.attempt))
+                self.grouped_hops += len(group.times)
+            scratch.clear()
 
-        if executor.has_work():
-            self._start_batch(node_id)
+        if executor.queue:
+            self._start_batch(executor)
 
-    def _on_token(self, request_id: str, attempt: int) -> None:
-        active = self._live_attempt(request_id, attempt)
-        if active is None:
-            return
-        record = active.record
-        if not record.token_times:
-            record.first_token_time = self._now
-        record.token_times.append(self._now)
-        record.tokens_generated += 1
-        self._last_token_time = self._now
-        self._token_timeline.append(self._now)
-
-        if record.tokens_generated >= active.request.output_len:
-            self._finish(active)
+    def _on_token_group(self, group: _HopGroup) -> None:
+        """Drain contiguous token deliveries at the coordinator."""
+        times = group.times
+        seqs = group.seqs
+        works = group.works
+        i = group.index
+        n = len(times)
+        events = self._events
+        max_time = self.max_time
+        disrupted = self._disrupted
+        coalesce = self._coalesce
+        scratch = self._scratch
+        token_bytes = self._token_bytes
+        timeline = self._timeline
+        tl_counts = timeline._counts
+        tl_inv = timeline._inv
+        tl_added = 0
+        # Earliest re-entry arrival accumulated in scratch but not yet in
+        # the heap; the drain must not run past it.
+        pending_first = math.inf
+        # The heap top only changes when a token finishes its request (a
+        # pending admission may push prompt events) or, without
+        # coalescing, when the re-entry is pushed directly.
+        if events:
+            top = events[0]
+            top_t = top[0]
+            top_seq = top[1]
         else:
-            self._start_iteration(active, is_prompt=False)
+            top_t = math.inf
+            top_seq = 0
+        while True:
+            t = times[i]
+            if t > top_t or (t == top_t and seqs[i] > top_seq):
+                break
+            if t > pending_first:
+                break
+            if t > max_time:
+                group.index = i
+                timeline.count += tl_added
+                self._flush_scratch()
+                self._halt = True
+                return
+            self._now = t
+            work = works[i]
+            i += 1
+            owner = work.owner
+            if not disrupted or (owner.live and owner.attempt == work.attempt):
+                record = owner.record
+                token_times = record.token_times
+                if not token_times:
+                    record.first_token_time = t
+                token_times.append(t)
+                record.tokens_generated += 1
+                self._last_token_time = t
+                bucket = int(t * tl_inv)
+                if bucket < len(tl_counts):
+                    tl_counts[bucket] += 1
+                    tl_added += 1
+                else:
+                    timeline.count += tl_added
+                    tl_added = 0
+                    timeline.add(t)
+                if record.tokens_generated >= owner.output_len:
+                    self._finish(owner)
+                    if events:
+                        top = events[0]
+                        top_t = top[0]
+                        top_seq = top[1]
+                    else:
+                        top_t = math.inf
+                        top_seq = 0
+                elif (
+                    coalesce
+                    and i == n
+                    and not scratch
+                    and not self._pending
+                    and len(self._active) == 1
+                    and not any(hop.executor.busy for hop in owner.hops)
+                ):
+                    # Closed window: the sole live request, over provably
+                    # idle executors — fast-forward its decode without the
+                    # event loop until it finishes or the next scheduled
+                    # event (an arrival, churn, a stale completion) is due.
+                    group.index = n
+                    timeline.count += tl_added
+                    self._fast_forward(owner)
+                    return
+                else:
+                    # Decode re-entry: coordinator ships one token id back
+                    # to the first stage (inline transmit).
+                    channel = owner.entry_channel
+                    nf = channel.next_free_time
+                    start = nf if nf > t else t
+                    queueing = start - t
+                    transmission = token_bytes / channel.bandwidth
+                    end = start + transmission
+                    channel.next_free_time = end
+                    channel.bytes_sent += token_bytes
+                    channel.messages_sent += 1
+                    channel.total_queueing_delay += queueing
+                    if queueing > channel.max_queueing_delay:
+                        channel.max_queueing_delay = queueing
+                    arrival = end + channel.latency
+                    seq = self._seq
+                    self._seq = seq + 1
+                    if coalesce:
+                        subgroup = scratch.get(channel)
+                        if subgroup is None:
+                            subgroup = _HopGroup(K_GROUP)
+                            scratch[channel] = subgroup
+                        subgroup.times.append(arrival)
+                        subgroup.seqs.append(seq)
+                        subgroup.works.append(owner.decode_works[0])
+                        if arrival < pending_first:
+                            pending_first = arrival
+                    else:
+                        subgroup = _HopGroup(K_GROUP)
+                        subgroup.times.append(arrival)
+                        subgroup.seqs.append(seq)
+                        subgroup.works.append(owner.decode_works[0])
+                        heappush(events, (arrival, seq, K_GROUP, subgroup))
+                        top = events[0]
+                        top_t = top[0]
+                        top_seq = top[1]
+            if i == n:
+                group.index = n
+                timeline.count += tl_added
+                self._flush_scratch()
+                return
+        # Paused: something else is due first.
+        group.index = i
+        timeline.count += tl_added
+        heappush(events, (times[i], seqs[i], K_TOKEN, group))
+        self._flush_scratch()
+
+    def _flush_scratch(self) -> None:
+        scratch = self._scratch
+        if not scratch:
+            return
+        events = self._events
+        for group in scratch.values():
+            heappush(events, (group.times[0], group.seqs[0], group.kind, group))
+            self.grouped_hops += len(group.times)
+        scratch.clear()
+
+    def _fast_forward(self, owner: _ActiveRequest) -> None:
+        """Run the decode of the sole live request inline (macro-step).
+
+        Preconditions (checked by the caller): exactly one active request,
+        empty pending queue, empty scratch, all of the request's executors
+        idle, current time at its just-emitted token. Until the next heap
+        event is due, the system is closed: the only thing that can happen
+        is this request's own iteration chain. The loop performs the
+        identical float operations, in the identical order, as the event
+        path would — entry transmit, per-hop batch and forward, token
+        delivery — and allocates the identical event sequence numbers, so
+        the results (including exact-time tie ordering afterwards) are
+        bit-identical; it merely skips the heap, the dispatch, and the
+        queue bookkeeping, none of which can be observed inside the
+        window. On reaching the boundary — the next heap event's time, or
+        the horizon — it stops mid-chain and re-materializes the one
+        in-flight event back into the heap.
+        """
+        events = self._events
+        limit = events[0][0] if events else math.inf
+        record = owner.record
+        hops = owner.hops
+        entry = owner.entry_channel
+        token_bytes = self._token_bytes
+        abpt = self._abpt
+        timeline = self._timeline
+        notify = self._notify_progress
+        notify_fn = self.scheduler.notify_node_progress
+        max_time = self.max_time
+        token_times = record.token_times
+        decode_works = owner.decode_works
+        seq = self._seq
+        t = self._now
+        produced = 0
+        stopped = False
+        while True:
+            # Coordinator ships the token id back to the first stage.
+            nf = entry.next_free_time
+            start = nf if nf > t else t
+            queueing = start - t
+            transmission = token_bytes / entry.bandwidth
+            end = start + transmission
+            entry.next_free_time = end
+            entry.bytes_sent += token_bytes
+            entry.messages_sent += 1
+            entry.total_queueing_delay += queueing
+            if queueing > entry.max_queueing_delay:
+                entry.max_queueing_delay = queueing
+            cur = end + entry.latency
+            arrival_seq = seq
+            seq += 1
+            if cur >= limit:
+                # The stage-0 arrival is not ours to run: re-materialize it.
+                group = _HopGroup(K_GROUP)
+                group.times.append(cur)
+                group.seqs.append(arrival_seq)
+                group.works.append(decode_works[0])
+                heappush(events, (cur, arrival_seq, K_GROUP, group))
+                stopped = True
+                break
+            if cur > max_time:
+                # The arrival would pop past the horizon; _now stays at
+                # the last processed event (the token at t).
+                self._halt = True
+                stopped = True
+                break
+            for hop in hops:
+                # Arrival at ``cur`` starts a single-work batch immediately
+                # (every executor is provably idle in the window).
+                executor = hop.executor
+                elapsed = hop.decode_time
+                completion = cur + elapsed
+                batch_seq = seq
+                seq += 1
+                if completion >= limit:
+                    executor.busy = True
+                    self._now = cur
+                    heappush(events, (
+                        completion, batch_seq, K_BATCH,
+                        (executor, executor.epoch,
+                         [decode_works[hop.stage_index]], elapsed,
+                         hop.decode_tl, 1),
+                    ))
+                    stopped = True
+                    break
+                if completion > max_time:
+                    # The batch started but its completion never pops.
+                    executor.busy = True
+                    self._now = cur
+                    self._halt = True
+                    stopped = True
+                    break
+                stats = executor.stats
+                stats.batches += 1
+                stats.busy_time += elapsed
+                stats.token_layers += hop.decode_tl
+                stats.tokens += 1
+                if notify:
+                    notify_fn(hop.node_id, 1, elapsed)
+                pool = hop.pool
+                used = pool.used_tokens + 1
+                if used > pool.capacity_tokens:
+                    pool.overflow_events += 1
+                pool.used_tokens = used
+                if used > pool.peak_tokens:
+                    pool.peak_tokens = used
+                owner.done += 1
+                # Forward at the completion time.
+                num_bytes = token_bytes if hop.final else abpt
+                channel = hop.channel
+                nf = channel.next_free_time
+                start = nf if nf > completion else completion
+                queueing = start - completion
+                transmission = num_bytes / channel.bandwidth
+                end = start + transmission
+                channel.next_free_time = end
+                channel.bytes_sent += num_bytes
+                channel.messages_sent += 1
+                channel.total_queueing_delay += queueing
+                if queueing > channel.max_queueing_delay:
+                    channel.max_queueing_delay = queueing
+                cur = end + channel.latency
+                forward_seq = seq
+                seq += 1
+                if cur >= limit:
+                    self._now = completion
+                    group = _HopGroup(K_TOKEN if hop.final else K_GROUP)
+                    group.times.append(cur)
+                    group.seqs.append(forward_seq)
+                    group.works.append(decode_works[hop.stage_index].next)
+                    heappush(
+                        events, (cur, forward_seq, group.kind, group)
+                    )
+                    stopped = True
+                    break
+                if cur > max_time:
+                    # The next arrival (stage or token) never pops.
+                    self._now = completion
+                    self._halt = True
+                    stopped = True
+                    break
+            if stopped:
+                break
+            # Token delivered to the coordinator at ``cur``.
+            t = cur
+            self._now = t
+            token_times.append(t)
+            record.tokens_generated += 1
+            self._last_token_time = t
+            timeline.add(t)
+            produced += 1
+            if record.tokens_generated >= owner.output_len:
+                self._seq = seq
+                self.fast_forwarded_tokens += produced
+                self._finish(owner)
+                return
+        self._seq = seq
+        self.fast_forwarded_tokens += produced
 
     def _finish(self, active: _ActiveRequest) -> None:
         record = active.record
@@ -379,10 +1213,11 @@ class Simulation:
         # Recorded on finish, not on schedule: disrupted attempts' pipelines
         # must not contaminate the finished-request depth average.
         self._pipeline_depths.append(active.pipeline.depth)
-        for node_id, tokens in active.kv_per_node.items():
-            self.kv_pools[node_id].free(tokens)
-        del self._active[active.request.request_id]
-        self.scheduler.notify_finished(active.request.request_id)
+        for index, hop in enumerate(active.hops):
+            hop.pool.free(active.kv_allocated(index))
+        active.live = False
+        del self._active[active.request_id]
+        self.scheduler.notify_finished(active.request_id)
         self._retry_pending()
 
     # ------------------------------------------------------------------
@@ -393,7 +1228,7 @@ class Simulation:
 
         The attempt's tokens become wasted work, its KV charges on
         surviving nodes are released (the failed node's pool was flushed
-        wholesale), and the attempt counter bump makes every event the old
+        wholesale), and the liveness/attempt bump makes every event the old
         attempt still has in flight fall on the floor.
         """
         record = active.record
@@ -406,11 +1241,14 @@ class Simulation:
         record.token_times = []
         record.first_token_time = math.nan
         record.schedule_time = math.nan
-        for node_id, tokens in active.kv_per_node.items():
-            if node_id not in self._down_nodes and node_id in self.kv_pools:
-                self.kv_pools[node_id].free(tokens)
-        del self._active[active.request.request_id]
-        self.scheduler.notify_failed(active.request.request_id)
+        down = self._down_nodes
+        for index, hop in enumerate(active.hops):
+            if hop.node_id not in down:
+                hop.pool.free(active.kv_allocated(index))
+        active.live = False
+        self._disrupted = True
+        del self._active[active.request_id]
+        self.scheduler.notify_failed(active.request_id)
         self._pending.append(active.request)
 
     def fail_node(self, node_id: str) -> list[str]:
@@ -429,13 +1267,15 @@ class Simulation:
             return []
         self.cluster.set_node_available(node_id, False)
         self._down_nodes.add(node_id)
+        self._disrupted = True
         self.scheduler.mark_node_down(node_id)
-        # .get: a joined node that never entered a placement has no epoch yet.
-        self._node_epoch[node_id] = self._node_epoch.get(node_id, 0) + 1
 
         executor = self.executors.get(node_id)
         if executor is not None:
+            executor.epoch += 1
             executor.queue.clear()
+            executor.queue_tokens = 0
+            executor.queue_tl = 0
             executor.busy = False
         pool = self.kv_pools.get(node_id)
         if pool is not None:
@@ -494,7 +1334,7 @@ class Simulation:
             link = self.cluster.set_link_bandwidth(*key, base * factor)
             channel = self.channels.get(key)
             if channel is not None:
-                channel.link = link
+                channel.set_link(link)
 
     def restore_link(
         self, src: str, dst: str, bidirectional: bool = True
@@ -510,7 +1350,7 @@ class Simulation:
             link = self.cluster.set_link_bandwidth(*key, base)
             channel = self.channels.get(key)
             if channel is not None:
-                channel.link = link
+                channel.set_link(link)
 
     def _attempt_survives(
         self, pipeline: RequestPipeline, placement, rebound: set[str]
@@ -578,13 +1418,8 @@ class Simulation:
 
         self.placement = placement
         for node_id in placement.used_nodes:
-            if node_id not in self.executors:
-                self._bind_node(node_id)
-            elif node_id in rebound:
-                self._node_epoch[node_id] = (
-                    self._node_epoch.get(node_id, 0) + 1
-                )
-                self._bind_node(node_id)
+            if node_id not in self.executors or node_id in rebound:
+                self._bind_node(node_id)  # bumps the old executor's epoch
         # Nodes leaving service quiesce like failed ones: queued stage work
         # is dropped and the in-flight batch (if any) goes stale, so they
         # stop accruing utilization and scheduler progress. Their executors
@@ -594,9 +1429,11 @@ class Simulation:
                 continue
             executor = self.executors.get(node_id)
             if executor is not None:
+                executor.epoch += 1
                 executor.queue.clear()
+                executor.queue_tokens = 0
+                executor.queue_tl = 0
                 executor.busy = False
-            self._node_epoch[node_id] = self._node_epoch.get(node_id, 0) + 1
         # A joined node brings new links; give them channels.
         for key, link in self.cluster.links.items():
             if key not in self.channels:
@@ -630,12 +1467,40 @@ class Simulation:
 
         Unlike per-request records (reset when an attempt is disrupted),
         this global timeline is append-only: tokens emitted by an attempt
-        that later failed stay in it. Feeding it to
-        :func:`~repro.sim.metrics.goodput_timeline` therefore shows the
-        true served-token rate over time — including the dip around a
+        that later failed stay in it. It is stored in fixed-width buckets
+        (``timeline_resolution`` wide), so this derived view reports each
+        token at its bucket's start time; memory stays bounded by the
+        simulated horizon instead of growing with the token count. Feeding
+        it to :func:`~repro.sim.metrics.goodput_timeline` with any window
+        that is a multiple of the resolution yields exactly the same
+        windowed goodput as the exact times — including the dip around a
         failure and the recovery after replanning.
         """
-        return list(self._token_timeline)
+        return self._timeline.times()
+
+    @property
+    def token_buckets(self) -> list[int]:
+        """Raw token counts per ``timeline_resolution``-wide bucket."""
+        return self._timeline.bucket_counts()
+
+    @property
+    def timeline_resolution(self) -> float:
+        """Bucket width of the token timeline, in seconds."""
+        return self._timeline.resolution
+
+    @property
+    def tokens_emitted(self) -> int:
+        """Total tokens the system produced (including disrupted attempts)."""
+        return self._timeline.count
+
+    @property
+    def engine_stats(self) -> dict[str, int]:
+        """Hot-loop telemetry: events popped, grouped hops, fast-forwards."""
+        return {
+            "events_popped": self.events_popped,
+            "grouped_hops": self.grouped_hops,
+            "fast_forwarded_tokens": self.fast_forwarded_tokens,
+        }
 
     @property
     def records(self) -> list[RequestRecord]:

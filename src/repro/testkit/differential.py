@@ -307,3 +307,203 @@ def check_milp_oracles(
     ):
         violations.extend(check(generate_scenario(family, seed, size)))
     return violations
+
+
+# ----------------------------------------------------------------------
+# Simulation engines: hop-table engine vs. per-hop vs. the frozen baseline
+# ----------------------------------------------------------------------
+def _nan_equal(a: float, b: float) -> bool:
+    """Exact float equality with NaN == NaN (unset timestamps)."""
+    return a == b or (a != a and b != b)
+
+
+def _run_engine(family: str, seed: int, size: str, engine: str):
+    """Plan and serve one freshly-generated scenario on one engine.
+
+    ``engine`` is ``"legacy"`` (the frozen pre-overhaul loop), ``"hop"``
+    (the current engine), or ``"perhop"`` (the current engine with
+    coalescing disabled — one heap event per hop). Every engine gets its
+    own generation: serving and churn mutate the cluster, and schedulers
+    are stateful.
+    """
+    from repro.bench.runner import make_planner, make_scheduler
+    from repro.core.errors import ReproError
+    from repro.scenarios.generator import generate_scenario
+    from repro.sim._legacy_reference import LegacySimulation
+    from repro.sim.simulator import Simulation
+
+    scenario = generate_scenario(family, seed, size)
+    tried = [scenario.planner_method] + [
+        method for method in ("swarm", "petals", "sp+")
+        if method != scenario.planner_method
+    ]
+    planner = result = None
+    for method in tried:
+        try:
+            planner = make_planner(method, scenario.cluster, scenario.model)
+            result = planner.plan()
+        except ReproError:
+            continue
+        if result.max_throughput > 0:
+            break
+    else:  # pragma: no cover - harness guarantees a planner serves
+        raise ReproError(f"no planner serves {scenario.describe()}")
+    scheduler = make_scheduler(
+        scenario.scheduler_method, scenario.cluster, scenario.model,
+        result, seed=scenario.seed,
+    )
+    kwargs = {}
+    if engine == "legacy":
+        sim_cls = LegacySimulation
+    else:
+        sim_cls = Simulation
+        if engine == "perhop":
+            kwargs["coalescing"] = False
+    sim = sim_cls(
+        cluster=scenario.cluster,
+        model=scenario.model,
+        placement=result.placement,
+        scheduler=scheduler,
+        requests=scenario.requests,
+        max_time=scenario.max_time,
+        seed=scenario.seed,
+        **kwargs,
+    )
+    for event in scenario.churn:
+        if event.time <= scenario.max_time:
+            sim.schedule_event(event.time, event.apply)
+    metrics = sim.run()
+    return sim, metrics
+
+
+def _engine_observables(sim, metrics) -> dict:
+    """Every externally-visible quantity an engine run produces."""
+    from repro.sim.metrics import TokenTimeline
+
+    records = {}
+    for record in sim.records:
+        records[record.request_id] = (
+            record.tokens_generated,
+            tuple(record.token_times),
+            record.arrival_time,
+            record.schedule_time,
+            record.first_token_time,
+            record.finish_time,
+            record.retries,
+            record.migrations,
+            record.tokens_lost,
+        )
+    pools = {
+        node_id: (pool.used_tokens, pool.peak_tokens, pool.overflow_events)
+        for node_id, pool in sim.kv_pools.items()
+    }
+    executors = {
+        node_id: (
+            executor.stats.batches,
+            executor.stats.busy_time,
+            executor.stats.token_layers,
+            executor.stats.tokens,
+        )
+        for node_id, executor in sim.executors.items()
+    }
+    channels = {
+        key: (
+            channel.messages_sent,
+            channel.bytes_sent,
+            channel.next_free_time,
+            channel.total_queueing_delay,
+            channel.max_queueing_delay,
+        )
+        for key, channel in sim.channels.items()
+    }
+    # The legacy engine keeps exact token times; fold them into the new
+    # engine's bucket layout so the timelines compare like for like.
+    if hasattr(sim, "token_buckets"):
+        buckets = sim.token_buckets
+    else:
+        timeline = TokenTimeline()
+        for when in sim.token_timeline:
+            timeline.add(when)
+        buckets = timeline.bucket_counts()
+    while buckets and buckets[-1] == 0:
+        buckets.pop()
+    return {
+        "records": records,
+        "pools": pools,
+        "executors": executors,
+        "channels": channels,
+        "buckets": buckets,
+        "metrics": metrics,
+        "now": sim.now,
+    }
+
+
+def _compare_observables(tag: str, ours: dict, reference: dict) -> list[Violation]:
+    """Exact comparison of two engines' observables (NaN-tolerant)."""
+    violations: list[Violation] = []
+
+    def flag(what: str, detail: str) -> None:
+        violations.append(Violation(
+            "sim_engine_equivalence", f"[{tag}] {what}: {detail}"
+        ))
+
+    for name in ("records", "pools", "executors", "channels"):
+        a, b = ours[name], reference[name]
+        if set(a) != set(b):
+            flag(name, f"key sets differ: {set(a) ^ set(b)}")
+            continue
+        for key in a:
+            row_a, row_b = a[key], b[key]
+            same = len(row_a) == len(row_b) and all(
+                x == y or (isinstance(x, float) and isinstance(y, float)
+                           and _nan_equal(x, y))
+                for x, y in zip(row_a, row_b)
+            )
+            if not same:
+                flag(name, f"{key!r}: {row_a} != {row_b}")
+    if ours["buckets"] != reference["buckets"]:
+        flag("token_timeline", "bucket counts differ")
+    if not _nan_equal(ours["now"], reference["now"]):
+        flag("now", f"{ours['now']} != {reference['now']}")
+    m_a, m_b = ours["metrics"], reference["metrics"]
+    for field_name in (
+        "decode_throughput", "requests_finished", "requests_submitted",
+        "duration", "decode_tokens", "kv_overflow_events",
+        "avg_pipeline_depth", "requests_retried", "requests_migrated",
+        "tokens_lost",
+    ):
+        if not _nan_equal(
+            float(getattr(m_a, field_name)), float(getattr(m_b, field_name))
+        ):
+            flag("metrics", f"{field_name}: {getattr(m_a, field_name)} != "
+                            f"{getattr(m_b, field_name)}")
+    for dist in ("prompt_latency", "decode_latency"):
+        stats_a, stats_b = getattr(m_a, dist), getattr(m_b, dist)
+        for q in ("count", "mean", "p5", "p25", "p50", "p75", "p95"):
+            if not _nan_equal(
+                float(getattr(stats_a, q)), float(getattr(stats_b, q))
+            ):
+                flag("metrics", f"{dist}.{q}: {getattr(stats_a, q)} != "
+                                f"{getattr(stats_b, q)}")
+    return violations
+
+
+def check_sim_engines(
+    family: str, seed: int, size: str = "smoke"
+) -> list[Violation]:
+    """The simulator-overhaul differential oracle for one address.
+
+    Replays the scenario through the frozen pre-overhaul engine, the
+    hop-table engine, and the hop-table engine with coalescing disabled,
+    and requires *exactly* equal observables — per-request token times,
+    serving metrics, KV pools, executor utilization, and per-channel
+    network statistics. This is the guarantee behind the overhaul: hop
+    groups, the closed-window fast-forward, and the vectorized forwarding
+    change wall-clock speed and nothing else.
+    """
+    legacy = _engine_observables(*_run_engine(family, seed, size, "legacy"))
+    hop = _engine_observables(*_run_engine(family, seed, size, "hop"))
+    perhop = _engine_observables(*_run_engine(family, seed, size, "perhop"))
+    violations = _compare_observables("hop-vs-legacy", hop, legacy)
+    violations.extend(_compare_observables("perhop-vs-legacy", perhop, legacy))
+    return violations

@@ -81,3 +81,45 @@ class TestIWRR:
         for candidate, weight in weights.items():
             expected = rounds * weight / total
             assert abs(picks[candidate] - expected) <= max(2.0, 0.02 * rounds)
+
+
+class TestCachedSelection:
+    """The allocation-free select: cached order/total, same sequence."""
+
+    def test_cached_sequence_matches_reference_formulation(self):
+        weights = {"a": 5.0, "b": 1.0, "c": 1.0}
+        iwrr = InterleavedWeightedRoundRobin(weights)
+        # Reference smooth-WRR computed by hand over the same weights.
+        credit = {c: 0.0 for c in weights}
+        expected = []
+        for _ in range(21):
+            for c in weights:
+                credit[c] += weights[c]
+            best = max(weights, key=lambda c: credit[c])
+            # first-max-wins on ties, like insertion order iteration
+            for c in weights:
+                if credit[c] == credit[best]:
+                    best = c
+                    break
+            credit[best] -= sum(weights.values())
+            expected.append(best)
+        assert [iwrr.select() for _ in range(21)] == expected
+
+    def test_update_weight_invalidates_cache(self):
+        iwrr = InterleavedWeightedRoundRobin({"a": 1.0, "b": 1.0})
+        iwrr.select()
+        iwrr.update_weight("c", 3.0)
+        assert set(iwrr.candidates) == {"a", "b", "c"}
+        picks = Counter(iwrr.select() for _ in range(50))
+        assert picks["c"] == 30  # 3/5 of 50: the new total is in effect
+        iwrr.update_weight("c", 0.0)
+        assert "c" not in iwrr.candidates
+        picks = Counter(iwrr.select() for _ in range(20))
+        assert picks["c"] == 0 and picks["a"] == 10
+
+    def test_masked_select_accepts_any_iterable(self):
+        iwrr = InterleavedWeightedRoundRobin({"a": 1.0, "b": 1.0})
+        # A generator (single-pass) must work like a list.
+        assert iwrr.select(allowed=(c for c in ["b"])) == "b"
+        assert iwrr.select(allowed=["b"]) == "b"
+        assert iwrr.select(allowed=()) is None

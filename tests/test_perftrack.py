@@ -90,3 +90,36 @@ def test_flow_bench_smoke_writes_artifact(tmp_path):
     names = [t["name"] for t in doc["timings"]]
     assert "eval_rebuild_per_candidate" in names
     assert "eval_incremental" in names
+
+
+@pytest.mark.perf
+def test_sim_bench_smoke_writes_artifact(tmp_path):
+    """Tier-1-safe smoke run of the simulator perf harness.
+
+    Small tiers with a heuristic placement, but the flooded / Poisson /
+    churn scenarios, both engines, and the ``BENCH_sim.json`` generation
+    path are exercised end to end. The flooded smoke tier must show the
+    hop-table engine at >=2x the frozen baseline — far under the >=10x the
+    full-size flood records, so CI noise cannot flake it.
+    """
+    from repro.bench.simbench import run_sim_bench
+
+    path = tmp_path / "BENCH_sim.json"
+    doc = run_sim_bench(smoke=True, path=path)
+    assert path.exists()
+    on_disk = json.loads(path.read_text())
+    assert on_disk["derived"] == doc["derived"]
+    assert doc["derived"]["sim_flooded_small_speedup"] >= 2.0
+    assert doc["derived"]["sim_poisson_small_speedup"] > 1.0
+    assert doc["derived"]["sim_churn_small_speedup"] > 1.0
+    names = [t["name"] for t in doc["timings"]]
+    assert "sim_flooded_small_legacy" in names
+    assert "sim_flooded_small_hop_table" in names
+    # Telemetry proves the coalescing machinery actually engaged.
+    hop_rows = [
+        t for t in doc["timings"] if t["name"].endswith("_hop_table")
+    ]
+    assert any(row["meta"].get("grouped_hops", 0) > 0 for row in hop_rows)
+    assert any(
+        row["meta"].get("fast_forwarded_tokens", 0) > 0 for row in hop_rows
+    )

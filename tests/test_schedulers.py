@@ -266,3 +266,30 @@ class TestFixedPipelineScheduler:
         scheduler.kv.charge("t4-0", int(capacity * 0.95))
         firsts = {scheduler.schedule(f"r{i}", 8).stages[0].node_id for i in range(4)}
         assert firsts == {"a100-0"}
+
+
+class TestKVEstimatorPipelineCharges:
+    """charge_pipeline/release_pipeline == per-node charge/release."""
+
+    def test_pipeline_charge_matches_per_node(self):
+        from repro.scheduling.kv_estimator import KVCacheEstimator
+
+        a = KVCacheEstimator({"x": 1000, "y": 500}, expected_output_len=50.0)
+        b = KVCacheEstimator({"x": 1000, "y": 500}, expected_output_len=50.0)
+        a.charge("x", 30)
+        a.charge("y", 30)
+        b.charge_pipeline(["x", "y"], 30)
+        assert a.occupancy("x") == b.occupancy("x")
+        assert a.occupancy("y") == b.occupancy("y")
+        a.release("x", 30)
+        a.release("y", 30)
+        b.release_pipeline(["x", "y"], 30)
+        assert a.occupancy("x") == b.occupancy("x") == 0.0
+        assert a.occupancy("y") == b.occupancy("y") == 0.0
+
+    def test_pipeline_release_clamps_at_zero(self):
+        from repro.scheduling.kv_estimator import KVCacheEstimator
+
+        est = KVCacheEstimator({"x": 100}, expected_output_len=10.0)
+        est.release_pipeline(["x", "unknown"], 500)
+        assert est.occupancy("x") == 0.0
