@@ -34,7 +34,17 @@ from repro.online.events import (
     ChurnConfig,
     random_churn,
     scripted_schedule,
+    validate_schedule,
 )
+from repro.online.faults import (
+    FlakyLink,
+    FlakyLinkEnd,
+    LinkFault,
+    StragglerEnd,
+    StragglerStart,
+    ZombieNode,
+)
+from repro.online.detect import DetectorConfig, FailureDetector
 from repro.online.controller import OnlineController, ReplanRecord
 
 __all__ = [
@@ -49,6 +59,15 @@ __all__ = [
     "ChurnConfig",
     "random_churn",
     "scripted_schedule",
+    "validate_schedule",
+    "FlakyLink",
+    "FlakyLinkEnd",
+    "LinkFault",
+    "StragglerEnd",
+    "StragglerStart",
+    "ZombieNode",
+    "DetectorConfig",
+    "FailureDetector",
     "OnlineController",
     "ReplanRecord",
 ]

@@ -41,12 +41,15 @@ from repro.core.errors import ClusterError, PlacementError, SolverError
 from repro.core.placement_types import ModelPlacement
 from repro.flow.graph import FlowGraph
 from repro.models.specs import ModelSpec
+from repro.online.detect import DetectorConfig, FailureDetector
 from repro.online.events import (
     ClusterEvent,
     LinkDegradation,
     LinkRecovery,
     NetworkPartition,
+    NodeFailure,
     NodeJoin,
+    validate_schedule,
 )
 from repro.sim.metrics import DisruptionReport, disruption_report
 
@@ -113,6 +116,10 @@ class OnlineController:
         replan_delay: float = 0.0,
         partial_inference: bool = True,
         planner_factory: Callable | None = None,
+        detection_mode: bool = False,
+        detector_config: DetectorConfig | None = None,
+        replan_retries: int = 2,
+        replan_retry_backoff: float = 0.5,
     ) -> None:
         self.model = model
         self.events = sorted(events, key=lambda e: e.time)
@@ -123,6 +130,19 @@ class OnlineController:
         self.replan_delay = replan_delay
         self.partial_inference = partial_inference
         self.planner_factory = planner_factory
+        #: With detection on, node failures happen *silently*
+        #: (``fail_node(announce=False)``) and the controller reacts only
+        #: when its failure detector confirms the node — measuring true
+        #: MTTD/MTTR instead of assuming an oracle announcement.
+        self.detection_mode = detection_mode
+        self.detector_config = detector_config
+        self.replan_retries = replan_retries
+        self.replan_retry_backoff = replan_retry_backoff
+        self.detector: FailureDetector | None = None
+        #: One ``(sim_time, node_id, kind, mttd)`` row per confirmed
+        #: detection; ``mttd`` is NaN for a false positive.
+        self.detections: list[tuple[float, str, str, float]] = []
+        self._replan_attempt = 0
 
         #: ``(sim_time, description)`` log of applied events.
         self.event_log: list[tuple[float, str]] = []
@@ -147,15 +167,33 @@ class OnlineController:
     def start(self, sim) -> None:
         """Register the churn schedule with a simulation's event loop.
 
-        Called by :meth:`Simulation.run` before the first event pops.
+        Called by :meth:`Simulation.run` before the first event pops. The
+        schedule is validated against the starting cluster first, so a
+        malformed scenario fails here with a clear error instead of
+        somewhere mid-run.
         """
+        validate_schedule(self.events, sim.cluster)
         for event in self.events:
             sim.schedule_event(
                 event.time, lambda s, ev=event: self._handle(s, ev)
             )
+        if self.detection_mode:
+            self.detector = FailureDetector(
+                sim, self.detector_config, on_confirm=self._on_confirmed
+            )
+            self.detector.start()
 
     def _handle(self, sim, event: ClusterEvent) -> None:
-        description = event.apply(sim)
+        if self.detection_mode and type(event) is NodeFailure:
+            # The crash is silent: only the physical half happens, and the
+            # control plane learns nothing until the detector confirms.
+            sim.fail_node(event.node_id, announce=False)
+            self.event_log.append(
+                (sim.now, f"node {event.node_id} failed silently (undetected)")
+            )
+            self.disruption_times.append(sim.now)
+            return
+        description = sim.apply_event(event)
         self.event_log.append((sim.now, description))
         if event.is_disruptive:
             self.disruption_times.append(sim.now)
@@ -172,6 +210,21 @@ class OnlineController:
             self._planners.clear()
         if event.triggers_replan:
             self.react(sim)
+
+    def _on_confirmed(self, sim, node_id: str, kind: str) -> None:
+        """Detector callback: complete the failure and replan around it."""
+        mttd = sim.confirm_node_failure(node_id)
+        self.detections.append((sim.now, node_id, kind, mttd))
+        self.event_log.append(
+            (
+                sim.now,
+                f"detector confirmed {node_id} dead ({kind}, "
+                f"mttd={mttd:.3f}s)",
+            )
+        )
+        if sim.debug_validate:
+            sim.cluster.validate()
+        self.react(sim)
 
     # ------------------------------------------------------------------
     # The two-tier reaction
@@ -283,7 +336,20 @@ class OnlineController:
                 status="degraded-only" if degraded_flow else "failed",
             )
             self.replans.append(record)
+            # A failed replan (solver error or no servable repair) retries
+            # with exponential backoff instead of giving up until the next
+            # event: transient solver failures should not strand the run
+            # on a degraded placement forever.
+            if self._replan_attempt < self.replan_retries:
+                delay = self.replan_retry_backoff * (
+                    2.0 ** self._replan_attempt
+                )
+                self._replan_attempt += 1
+                sim.schedule_event(
+                    sim.now + delay, lambda s: self.react(s)
+                )
             return record
+        self._replan_attempt = 0
 
         placement, flow = result.placement, result.flow
         record = ReplanRecord(
@@ -343,6 +409,12 @@ class OnlineController:
         its delay) settled. Call after :meth:`Simulation.run` returns.
         """
         end_time = min(sim.now, sim.max_time)
+        timeline = sim.token_timeline
+        if self.detection_mode and timeline:
+            # The detector's heartbeat ticker keeps the event loop alive
+            # all the way to the horizon; goodput windows past the last
+            # emitted token would measure that idleness, not recovery.
+            end_time = min(end_time, timeline[-1] + window)
         first_disruption = (
             self.disruption_times[0] if self.disruption_times else end_time
         )
@@ -364,4 +436,10 @@ class OnlineController:
             tokens_lost=sum(r.tokens_lost for r in records),
             replan_latencies=[r.wall_seconds for r in applied],
             recovery_threshold=recovery_threshold,
+            mttd_samples=[row[3] for row in self.detections],
+            false_positives=(
+                self.detector.false_positives if self.detector else 0
+            ),
+            requests_shed=sim.requests_shed,
+            requests_lost=sim.requests_lost,
         )

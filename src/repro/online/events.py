@@ -25,6 +25,7 @@ from typing import Sequence
 
 from repro.cluster.gpus import GPUSpec
 from repro.cluster.node import COORDINATOR
+from repro.core.errors import ClusterError
 from repro.core.units import GBIT
 
 
@@ -294,3 +295,101 @@ def random_churn(
             events.append(LinkRecovery(repair_at, src, dst))
 
     return sorted(events, key=lambda e: e.time)
+
+
+def validate_schedule(events: Sequence[ClusterEvent], cluster) -> None:
+    """Reject a malformed event schedule before the run starts.
+
+    A bad schedule — a typo'd node id, a recovery for a node that never
+    fails, partitions that overlap — otherwise surfaces mid-run as a
+    confusing simulation error (or worse, silently does nothing). This
+    checks the whole schedule up front against the starting cluster and
+    raises :class:`~repro.core.errors.ClusterError` naming the offending
+    event:
+
+    * no event may carry a negative time;
+    * every node event must name a known node (a ``NodeJoin`` makes its
+      node known from that point on, and must not collide with one);
+    * every link event must name an existing link;
+    * a ``NodeRecovery`` must be preceded by something that takes its
+      node out of service (``NodeFailure``, a gray node fault, or the
+      node starting out down);
+    * two ``NetworkPartition``\\ s may not overlap in time on any shared
+      node (heal the first before cutting the second).
+    """
+    from repro.online.faults import FlakyLink, FlakyLinkEnd, GRAY_NODE_FAULTS
+    from repro.online.faults import StragglerEnd, StragglerStart
+
+    known_nodes = set(cluster.node_ids)
+    failed: set[str] = set(cluster.down_node_ids)
+    partitions: list[tuple[NetworkPartition, frozenset[str]]] = []
+
+    def check_node(event: ClusterEvent, node_id: str) -> None:
+        if node_id not in known_nodes:
+            raise ClusterError(
+                f"{type(event).__name__} at t={event.time:g} names unknown "
+                f"node {node_id!r}"
+            )
+
+    def check_link(event: ClusterEvent, src: str, dst: str) -> None:
+        if not cluster.has_link(src, dst):
+            raise ClusterError(
+                f"{type(event).__name__} at t={event.time:g} names unknown "
+                f"link {src!r}->{dst!r}"
+            )
+
+    for event in sorted(events, key=lambda e: e.time):
+        if event.time < 0:
+            raise ClusterError(
+                f"{type(event).__name__} scheduled at negative time "
+                f"{event.time:g}"
+            )
+        if isinstance(event, NodeFailure):
+            check_node(event, event.node_id)
+            failed.add(event.node_id)
+        elif isinstance(event, NodeRecovery):
+            check_node(event, event.node_id)
+            if event.node_id not in failed:
+                raise ClusterError(
+                    f"NodeRecovery at t={event.time:g} for node "
+                    f"{event.node_id!r}, which never failed before it"
+                )
+            failed.discard(event.node_id)
+        elif isinstance(event, NodeJoin):
+            if event.node_id in known_nodes:
+                raise ClusterError(
+                    f"NodeJoin at t={event.time:g} collides with existing "
+                    f"node {event.node_id!r}"
+                )
+            known_nodes.add(event.node_id)
+        elif isinstance(event, (StragglerStart, StragglerEnd)):
+            check_node(event, event.node_id)
+        elif isinstance(event, GRAY_NODE_FAULTS):
+            check_node(event, event.node_id)
+            failed.add(event.node_id)
+        elif isinstance(event, (LinkDegradation, LinkRecovery)):
+            check_link(event, event.src, event.dst)
+        elif isinstance(event, (FlakyLink, FlakyLinkEnd)):
+            check_link(event, event.src, event.dst)
+        elif isinstance(event, PartitionHeal):
+            groups = (tuple(event.group_a), tuple(event.group_b))
+            for index, (partition, _) in enumerate(partitions):
+                if (
+                    tuple(partition.group_a),
+                    tuple(partition.group_b),
+                ) == groups:
+                    del partitions[index]
+                    break
+        elif isinstance(event, NetworkPartition):
+            for node_id in (*event.group_a, *event.group_b):
+                check_node(event, node_id)
+            members = frozenset(event.group_a) | frozenset(event.group_b)
+            for partition, other in partitions:
+                shared = members & other
+                if shared:
+                    raise ClusterError(
+                        f"NetworkPartition at t={event.time:g} overlaps an "
+                        f"unhealed partition from t={partition.time:g} on "
+                        f"node(s) {sorted(shared)}"
+                    )
+            partitions.append((event, members))

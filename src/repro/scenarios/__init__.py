@@ -6,6 +6,8 @@ Every scenario is addressable by ``(family, seed, size)`` — see
 """
 
 from repro.scenarios.generator import (
+    ALL_FAMILIES,
+    CHAOS_FAMILY,
     FULL,
     SCENARIO_FAMILIES,
     SMOKE,
@@ -17,6 +19,8 @@ from repro.scenarios.generator import (
 from repro.scenarios.workloads import WORKLOAD_KINDS, make_workload
 
 __all__ = [
+    "ALL_FAMILIES",
+    "CHAOS_FAMILY",
     "FULL",
     "SCENARIO_FAMILIES",
     "SMOKE",

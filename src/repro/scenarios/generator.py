@@ -32,12 +32,36 @@ from repro.cluster.node import COORDINATOR
 from repro.cluster.profiler import Profiler
 from repro.core.units import GBIT, MBIT
 from repro.models.specs import ModelSpec
-from repro.online.events import ChurnConfig, ClusterEvent, random_churn
+from repro.online.events import (
+    ChurnConfig,
+    ClusterEvent,
+    NodeFailure,
+    NodeRecovery,
+    random_churn,
+)
+from repro.online.faults import (
+    FlakyLink,
+    FlakyLinkEnd,
+    StragglerEnd,
+    StragglerStart,
+    ZombieNode,
+)
 from repro.scenarios.workloads import WORKLOAD_KINDS, make_workload
+from repro.sim.policy import RequestPolicy
 from repro.sim.request import Request
 
 #: The topology archetypes the generator can draw.
 SCENARIO_FAMILIES = ("full_mesh", "geo_regions", "star", "sparse_partitioned")
+
+#: The chaos family: a topology drawn from :data:`SCENARIO_FAMILIES` plus
+#: a seeded gray-fault schedule (silent crashes, stragglers, flaky links,
+#: zombies), failure detection on, and a drawn request-lifecycle policy.
+#: Kept out of ``SCENARIO_FAMILIES`` so the classic 4-family matrices (and
+#: the engine-differential guarantees swept over them) are unchanged.
+CHAOS_FAMILY = "chaos"
+
+#: Every generatable family, chaos included.
+ALL_FAMILIES = SCENARIO_FAMILIES + (CHAOS_FAMILY,)
 
 #: Families dense enough that topology-blind heuristic placements always
 #: carry flow, and may therefore draw a VRAM-bound multi-stage model.
@@ -111,11 +135,15 @@ class Scenario:
         model: The served model.
         requests: Arrival-stamped trace.
         workload: Arrival flavor (member of ``WORKLOAD_KINDS``).
-        churn: Churn schedule (may be empty).
+        churn: Churn schedule (may be empty). Chaos scenarios carry gray
+            faults here.
         planner_method: Suggested placement method (the harness falls back
             along ``_PLANNER_METHODS`` if it cannot serve).
         scheduler_method: Suggested scheduling policy.
         max_time: Simulation horizon in seconds.
+        detection: Run with a failure detector instead of announced
+            failures (chaos scenarios).
+        policy: Request-lifecycle policy (``None`` = legacy semantics).
     """
 
     family: str
@@ -129,6 +157,8 @@ class Scenario:
     planner_method: str = "swarm"
     scheduler_method: str = "helix"
     max_time: float = 40.0
+    detection: bool = False
+    policy: RequestPolicy | None = None
 
     def repro_command(self) -> str:
         """The one-line command that replays this exact scenario."""
@@ -140,12 +170,15 @@ class Scenario:
     def describe(self) -> str:
         """One-line summary for reports and failure messages."""
         churn = f", {len(self.churn)} churn events" if self.churn else ""
+        extras = ", detection on" if self.detection else ""
+        if self.policy is not None:
+            extras += ", lifecycle policy"
         return (
             f"scenario {self.family}/{self.seed} ({self.size}): "
             f"{self.cluster.describe()}, {self.model.name}, "
             f"{len(self.requests)} {self.workload} requests, "
             f"planner={self.planner_method}, "
-            f"scheduler={self.scheduler_method}{churn}"
+            f"scheduler={self.scheduler_method}{churn}{extras}"
         )
 
 
@@ -355,6 +388,114 @@ def _draw_churn(
     )
 
 
+def _draw_gray_faults(
+    rng: random.Random, cluster: Cluster, limits: ScenarioLimits
+) -> list[ClusterEvent]:
+    """A seeded gray-fault schedule: 1-3 faults over distinct victims.
+
+    At most one fault takes a node fully out of service (silent crash or
+    zombie) so a small cluster stays servable; stragglers and flaky links
+    degrade without removing capacity. Onsets land in the middle of the
+    run (after a clean baseline window, with room to recover before the
+    horizon); some faults heal, some persist.
+    """
+    horizon = limits.max_time
+    events: list[ClusterEvent] = []
+    node_pool = list(cluster.node_ids)
+    rng.shuffle(node_pool)
+    link_pool = [
+        key for key in cluster.links
+        if COORDINATOR not in key and key[0] < key[1]
+    ]
+    rng.shuffle(link_pool)
+
+    kinds = ["crash", "zombie", "straggler", "flaky"]
+    count = rng.randint(1, 3)
+    node_killed = False
+    for _ in range(count):
+        kind = rng.choice(kinds)
+        onset = rng.uniform(horizon * 0.2, horizon * 0.6)
+        if kind in ("crash", "zombie"):
+            if node_killed or not node_pool:
+                kind = "straggler"  # keep the cluster servable
+            else:
+                node_killed = True
+        if kind == "crash":
+            victim = node_pool.pop()
+            events.append(NodeFailure(onset, victim))
+            if rng.random() < 0.5:
+                events.append(
+                    NodeRecovery(
+                        onset + rng.uniform(horizon * 0.15, horizon * 0.3),
+                        victim,
+                    )
+                )
+        elif kind == "zombie":
+            victim = node_pool.pop()
+            events.append(ZombieNode(onset, victim))
+            if rng.random() < 0.5:
+                events.append(
+                    NodeRecovery(
+                        onset + rng.uniform(horizon * 0.15, horizon * 0.3),
+                        victim,
+                    )
+                )
+        elif kind == "straggler":
+            if not node_pool:
+                continue
+            victim = node_pool.pop()
+            events.append(
+                StragglerStart(onset, victim, slowdown=rng.uniform(2.0, 8.0))
+            )
+            if rng.random() < 0.6:
+                events.append(
+                    StragglerEnd(
+                        onset + rng.uniform(horizon * 0.1, horizon * 0.25),
+                        victim,
+                    )
+                )
+        else:  # flaky link
+            if not link_pool:
+                continue
+            src, dst = link_pool.pop()
+            events.append(
+                FlakyLink(
+                    onset, src, dst,
+                    drop_probability=rng.uniform(0.05, 0.35),
+                    retransmit_delay=rng.uniform(0.02, 0.15),
+                )
+            )
+            if rng.random() < 0.6:
+                events.append(
+                    FlakyLinkEnd(
+                        onset + rng.uniform(horizon * 0.1, horizon * 0.25),
+                        src, dst,
+                    )
+                )
+    return sorted(events, key=lambda e: e.time)
+
+
+def _draw_policy(rng: random.Random, limits: ScenarioLimits) -> RequestPolicy:
+    """A request-lifecycle policy sized to the scenario horizon."""
+    horizon = limits.max_time
+    return RequestPolicy(
+        deadline=(
+            rng.uniform(horizon * 0.3, horizon * 0.6)
+            if rng.random() < 0.3 else None
+        ),
+        ttft_timeout=rng.uniform(horizon * 0.05, horizon * 0.15),
+        max_retries=rng.randint(3, 6),
+        retry_backoff=rng.uniform(0.1, 0.3),
+        backoff_factor=2.0,
+        jitter=rng.uniform(0.0, 0.5),
+        hedge_after=(
+            rng.uniform(horizon * 0.04, horizon * 0.1)
+            if rng.random() < 0.3 else None
+        ),
+        max_pending=rng.randint(20, 60) if rng.random() < 0.5 else None,
+    )
+
+
 # ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
@@ -372,10 +513,10 @@ def generate_scenario(
     Raises:
         ValueError: On an unknown family or size.
     """
-    if family not in SCENARIO_FAMILIES:
+    if family not in ALL_FAMILIES:
         raise ValueError(
             f"unknown scenario family {family!r}; "
-            f"choose from {SCENARIO_FAMILIES}"
+            f"choose from {ALL_FAMILIES}"
         )
     try:
         limits = _SIZES[size]
@@ -386,6 +527,35 @@ def generate_scenario(
     profiler = profiler or Profiler()
     # String seeding hashes via SHA-512: stable across runs and platforms.
     rng = random.Random(f"repro-scenario:{family}:{seed}:{size}")
+
+    if family == CHAOS_FAMILY:
+        # Chaos rides a drawn base topology; the model is always the small
+        # shape so losing one node never makes the placement unservable.
+        base_family = rng.choice(SCENARIO_FAMILIES)
+        count = rng.randint(limits.min_nodes, limits.max_nodes)
+        cluster = _BUILDERS[base_family](rng, count)
+        cluster.validate()
+        model = _small_model(rng)
+        workload = rng.choice(WORKLOAD_KINDS)
+        num_requests = rng.randint(limits.min_requests, limits.max_requests)
+        requests = make_workload(
+            rng, workload, num_requests, horizon=limits.max_time * 0.5
+        )
+        return Scenario(
+            family=family,
+            seed=seed,
+            size=size,
+            cluster=cluster,
+            model=model,
+            requests=requests,
+            workload=workload,
+            churn=_draw_gray_faults(rng, cluster, limits),
+            planner_method=rng.choice(_PLANNER_METHODS),
+            scheduler_method=rng.choice(_SCHEDULER_METHODS),
+            max_time=limits.max_time,
+            detection=True,
+            policy=_draw_policy(rng, limits),
+        )
 
     count = rng.randint(limits.min_nodes, limits.max_nodes)
     cluster = _BUILDERS[family](rng, count)

@@ -121,6 +121,10 @@ class Scheduler(abc.ABC):
         self.outstanding: dict[str, int] = {nid: 0 for nid in placement.used_nodes}
         #: Nodes currently down; masked from every pipeline walk.
         self.down_nodes: set[str] = set()
+        #: Pending-queue depth above which :meth:`admit` sheds arrivals
+        #: (``None`` = admit everything, the legacy semantics). Set by the
+        #: simulator from the run's :class:`~repro.sim.policy.RequestPolicy`.
+        self.admission_limit: int | None = None
         self._active: dict[str, RequestPipeline] = {}
         self._active_input_len: dict[str, int] = {}
 
@@ -180,6 +184,18 @@ class Scheduler(abc.ABC):
         if not self.kv_masking:
             return True
         return self.kv.admits(node_id, input_len)
+
+    def admit(self, request_id: str, input_len: int, queued: int) -> bool:
+        """Whether a freshly-arrived, unschedulable request may queue.
+
+        Called by the simulator when :meth:`schedule` returned ``None`` at
+        arrival time; returning ``False`` sheds the request (it counts as
+        *shed*, never enters the pending queue, and is never retried).
+        The base policy is a pure queue-depth bound; subclasses may weigh
+        ``input_len`` or request class.
+        """
+        limit = self.admission_limit
+        return limit is None or queued < limit
 
     @abc.abstractmethod
     def _choose_next(

@@ -27,9 +27,11 @@ from repro.sim.metrics import (
     disruption_report,
     goodput_timeline,
 )
+from repro.sim.policy import RequestPolicy
 from repro.sim.simulator import Simulation
 
 __all__ = [
+    "RequestPolicy",
     "Request",
     "KVCachePool",
     "LinkChannel",

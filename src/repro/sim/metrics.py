@@ -38,6 +38,10 @@ class RequestRecord:
     retries: int = 0
     migrations: int = 0
     tokens_lost: int = 0
+    #: Rejected by admission control before ever holding a pipeline.
+    shed: bool = False
+    #: Abandoned after exhausting its retry budget or missing its deadline.
+    lost: bool = False
 
     @property
     def finished(self) -> bool:
@@ -119,6 +123,10 @@ class ServingMetrics:
             replanning invalidated their pipeline.
         tokens_lost: Output tokens emitted by attempts that were later
             disrupted (wasted work).
+        requests_shed: Requests rejected by admission control (overload
+            shedding) before ever holding a pipeline.
+        requests_lost: Requests abandoned after exhausting their retry
+            budget or missing their deadline.
     """
 
     decode_throughput: float
@@ -133,6 +141,8 @@ class ServingMetrics:
     requests_retried: int = 0
     requests_migrated: int = 0
     tokens_lost: int = 0
+    requests_shed: int = 0
+    requests_lost: int = 0
 
     def summary(self) -> str:
         """One-line report string."""
@@ -188,6 +198,8 @@ def aggregate_metrics(
         requests_retried=sum(1 for r in records if r.retries > 0),
         requests_migrated=sum(1 for r in records if r.migrations > 0),
         tokens_lost=sum(r.tokens_lost for r in records),
+        requests_shed=sum(1 for r in records if r.shed),
+        requests_lost=sum(1 for r in records if r.lost),
     )
 
 
@@ -303,6 +315,12 @@ class DisruptionReport:
         replan_latency_mean: Mean replanning wall-clock latency in seconds
             (NaN when no replanning ran).
         replan_latency_max: Worst replanning latency (NaN when none ran).
+        mttd_mean: Mean time-to-detection across confirmed real failures
+            in detection mode, simulated seconds (NaN when none).
+        mttd_max: Worst time-to-detection (NaN when none).
+        false_positives: Healthy nodes the detector wrongly confirmed dead.
+        requests_shed: Requests rejected by admission control.
+        requests_lost: Requests abandoned (retry budget / deadline).
     """
 
     window: float
@@ -318,6 +336,11 @@ class DisruptionReport:
     replan_count: int
     replan_latency_mean: float
     replan_latency_max: float
+    mttd_mean: float = math.nan
+    mttd_max: float = math.nan
+    false_positives: int = 0
+    requests_shed: int = 0
+    requests_lost: int = 0
 
     def summary(self) -> str:
         """One-line report string."""
@@ -346,6 +369,10 @@ def disruption_report(
     replan_latencies: list[float] | None = None,
     recovery_threshold: float = 0.7,
     settle: float | None = None,
+    mttd_samples: list[float] | None = None,
+    false_positives: int = 0,
+    requests_shed: int = 0,
+    requests_lost: int = 0,
 ) -> DisruptionReport:
     """Assemble a :class:`DisruptionReport` from a run's raw timeline.
 
@@ -362,6 +389,10 @@ def disruption_report(
         recovery_threshold: Goodput fraction defining "recovered".
         settle: Seconds after ``recovered_from`` excluded from the post
             window (default: one window).
+        mttd_samples: Per-failure detection latencies (detection mode).
+        false_positives: Healthy nodes wrongly confirmed dead.
+        requests_shed / requests_lost: Lifecycle counters from
+            :class:`ServingMetrics`.
     """
     timeline = goodput_timeline(token_times, window, end_time)
     settle = window if settle is None else settle
@@ -396,6 +427,7 @@ def disruption_report(
                 break
 
     latencies = list(replan_latencies or [])
+    mttds = [m for m in (mttd_samples or []) if not math.isnan(m)]
     return DisruptionReport(
         window=window,
         timeline=tuple(timeline),
@@ -412,4 +444,9 @@ def disruption_report(
             sum(latencies) / len(latencies) if latencies else math.nan
         ),
         replan_latency_max=max(latencies) if latencies else math.nan,
+        mttd_mean=sum(mttds) / len(mttds) if mttds else math.nan,
+        mttd_max=max(mttds) if mttds else math.nan,
+        false_positives=false_positives,
+        requests_shed=requests_shed,
+        requests_lost=requests_lost,
     )

@@ -34,6 +34,11 @@ class LinkChannel:
         bandwidth: Cached ``link.bandwidth`` (kept in sync by
             :meth:`set_link`).
         latency: Cached ``link.latency``.
+        fault: Optional gray-fault state (a
+            :class:`~repro.online.faults.LinkFault`) the simulator
+            attaches when the link turns lossy/flaky; ``None`` on healthy
+            links, and never consulted unless the simulation's gray-fault
+            mode is active — the hot path stays untouched.
     """
 
     link: Link
@@ -42,6 +47,7 @@ class LinkChannel:
     messages_sent: int = 0
     total_queueing_delay: float = 0.0
     max_queueing_delay: float = 0.0
+    fault: object = None
     bandwidth: float = field(init=False)
     latency: float = field(init=False)
 

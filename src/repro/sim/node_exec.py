@@ -96,7 +96,7 @@ class NodeExecutor:
     __slots__ = (
         "node", "node_id", "model", "profiler", "resident_layers",
         "max_batch_tokens", "queue", "queue_tokens", "queue_tl", "busy", "stats",
-        "epoch", "compute_rate", "weights_time", "overhead",
+        "epoch", "compute_rate", "weights_time", "overhead", "slowdown",
     )
 
     def __init__(
@@ -139,6 +139,34 @@ class NodeExecutor:
             node, model
         )
         self.overhead = profiler.batch_overhead
+        #: Gray-fault straggler factor (1.0 = healthy). See
+        #: :meth:`set_slowdown`.
+        self.slowdown = 1.0
+
+    def set_slowdown(self, factor: float) -> None:
+        """Scale the roofline constants by a straggler ``factor``.
+
+        ``factor`` is relative to the node's healthy constants (repeated
+        calls do not compound); 1.0 restores them exactly — the healthy
+        values are recomputed from the profiler, so a restored executor is
+        bit-identical to one that never straggled.
+        """
+        if factor <= 0:
+            raise ValueError(f"slowdown factor must be positive, got {factor}")
+        self.slowdown = factor
+        rate = self.profiler.compute_rate(self.node, self.model)
+        weights = self.resident_layers * self.profiler.weight_read_time(
+            self.node, self.model
+        )
+        overhead = self.profiler.batch_overhead
+        if factor == 1.0:
+            self.compute_rate = rate
+            self.weights_time = weights
+            self.overhead = overhead
+        else:
+            self.compute_rate = rate / factor
+            self.weights_time = weights * factor
+            self.overhead = overhead * factor
 
     # ------------------------------------------------------------------
     def enqueue(self, work: StageWork) -> None:

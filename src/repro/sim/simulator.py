@@ -148,7 +148,7 @@ class _ActiveRequest:
     __slots__ = (
         "request", "request_id", "pipeline", "record", "attempt", "live",
         "hops", "entry_channel", "prompt_works", "decode_works", "done",
-        "output_len",
+        "output_len", "sched_id", "hedge", "is_hedge",
     )
 
     def __init__(self, request, pipeline, record, attempt):
@@ -159,6 +159,12 @@ class _ActiveRequest:
         self.attempt = attempt
         self.live = True
         self.output_len = request.output_len
+        # The id this attempt is registered under (scheduler + active
+        # table). Hedged shadow attempts use ``<request_id>#hedge`` so
+        # both members of the race can hold pipelines simultaneously.
+        self.sched_id = request.request_id
+        self.hedge = None
+        self.is_hedge = False
         # Total stage completions of this attempt. A request's iterations
         # are strictly sequential (at most one in-flight work ever), so
         # completions happen in pipeline order: the first ``depth`` are the
@@ -238,6 +244,8 @@ class Simulation:
         controller=None,
         coalescing: bool = True,
         timeline_resolution: float = 0.0625,
+        policy=None,
+        debug_validate: bool = False,
     ) -> None:
         if not requests:
             raise SimulationError("request trace is empty")
@@ -251,6 +259,15 @@ class Simulation:
         self.max_batch_tokens = max_batch_tokens
         self.seed = seed
         self.controller = controller
+        #: Optional per-request lifecycle policy (deadlines, timeouts,
+        #: bounded retries, hedging, shedding). ``None`` — and any
+        #: default-constructed policy — is the legacy semantics.
+        self._policy = policy
+        #: Run ``cluster.validate()`` after every event applied through
+        #: :meth:`apply_event` (chaos/test harnesses turn this on).
+        self.debug_validate = debug_validate
+        if policy is not None and policy.max_pending is not None:
+            scheduler.admission_limit = policy.max_pending
 
         self.requests = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
         self.executors: dict[str, NodeExecutor] = {}
@@ -272,6 +289,26 @@ class Simulation:
         self._last_token_time = 0.0
         self._timeline = TokenTimeline(timeline_resolution)
         self._down_nodes: set[str] = set()
+        # Gray-failure state. Silently-down nodes have physically died but
+        # nothing in the control plane knows yet (the scheduler keeps
+        # routing to them); zombies accept work and never finish it. Both
+        # leave this limbo only through confirm_node_failure (a detector
+        # confirmed them) or restore_node (the environment healed them).
+        self._silent_down: set[str] = set()
+        self._zombie_nodes: set[str] = set()
+        #: Ground-truth fault onset times (for MTTD and false-positive
+        #: accounting); entries removed on restore.
+        self._fault_times: dict[str, float] = {}
+        #: Token-counter snapshot per confirmed-dead node: after
+        #: confirmation the node must never emit another token (the chaos
+        #: invariants assert the counter stays at the snapshot).
+        self._confirmed_dead_marks: dict[str, float] = {}
+        self._dead_node_breaches: list[str] = []
+        self._requests_shed = 0
+        self._requests_lost = 0
+        #: Requests sitting out a retry backoff (neither active nor in the
+        #: pending queue) — needed for request conservation.
+        self._backoff_waiting = 0
         self._base_bandwidth: dict[tuple[str, str], float] = {}
         for node_id in cluster.down_node_ids:
             self._down_nodes.add(node_id)
@@ -286,6 +323,12 @@ class Simulation:
         # work provably belongs to a live attempt and the per-work
         # staleness checks are skipped.
         self._disrupted = False
+        # True once any link turned flaky. Fault delays can reorder
+        # arrivals within what would have been one sorted hop group, so
+        # gray mode latches coalescing off (single-entry groups preserve
+        # heap ordering); like _disrupted it flips at most once, keeping
+        # the fault-free hot path untouched.
+        self._gray = False
         # Schedulers that keep the base class's no-op progress hook skip
         # the per-batch callback entirely.
         self._notify_progress = (
@@ -342,6 +385,19 @@ class Simulation:
         seq = self._seq
         self._seq = seq + 1
         heappush(self._events, (when, seq, K_ENV, fn))
+
+    def apply_event(self, event) -> str:
+        """Apply one :class:`~repro.online.events.ClusterEvent` now.
+
+        Single entry point for environment events so the optional
+        ``debug_validate`` hook runs after *every* applied event: any
+        event that leaves the cluster's invariants broken fails here,
+        at the event, not later at some unrelated assertion.
+        """
+        description = event.apply(self)
+        if self.debug_validate:
+            self.cluster.validate()
+        return description
 
     def run(self) -> ServingMetrics:
         """Play the trace and return aggregate metrics."""
@@ -402,7 +458,20 @@ class Simulation:
             arrival_time=request.arrival_time,
         )
         self._records[request.request_id] = record
+        policy = self._policy
+        if policy is not None and policy.deadline is not None:
+            rid = request.request_id
+            self.schedule_event(
+                request.arrival_time + policy.deadline,
+                lambda s, rid=rid: s._deadline_check(rid),
+            )
         if not self._try_schedule(request):
+            if policy is not None and not self.scheduler.admit(
+                request.request_id, request.input_len, len(self._pending)
+            ):
+                record.shed = True
+                self._requests_shed += 1
+                return
             self._pending.append(request)
 
     def _try_schedule(self, request: Request) -> bool:
@@ -418,6 +487,18 @@ class Simulation:
         self._build_hops(active)
         self._active[request.request_id] = active
         self._start_prompt(active)
+        policy = self._policy
+        if policy is not None:
+            if policy.ttft_timeout is not None:
+                self.schedule_event(
+                    self._now + policy.ttft_timeout,
+                    lambda s, a=active: s._ttft_check(a),
+                )
+            if policy.hedge_after is not None:
+                self.schedule_event(
+                    self._now + policy.hedge_after,
+                    lambda s, a=active: s._try_hedge(a),
+                )
         return True
 
     def _build_hops(self, active: _ActiveRequest) -> None:
@@ -494,6 +575,10 @@ class Simulation:
         """Ship the prompt to the first stage (one single-entry group)."""
         num_bytes = active.request.input_len * self._token_bytes
         arrival = active.entry_channel.transmit(self._now, num_bytes)
+        if self._gray:
+            fault = active.entry_channel.fault
+            if fault is not None:
+                arrival += fault.delay()
         group = _HopGroup(K_GROUP)
         group.times.append(arrival)
         seq = self._seq
@@ -690,7 +775,8 @@ class Simulation:
 
         now = self._now
         disrupted = self._disrupted
-        coalesce = self._coalesce
+        gray = self._gray
+        coalesce = self._coalesce and not gray
         scratch = self._scratch
         events = self._events
         seq = self._seq
@@ -869,6 +955,10 @@ class Simulation:
             if queueing > ch_maxq:
                 ch_maxq = queueing
             arrival = end + ch_lat
+            if gray:
+                fault = ch.fault
+                if fault is not None:
+                    arrival += fault.delay()
             if coalesce:
                 g_times.append(arrival)
                 g_seqs.append(seq)
@@ -913,7 +1003,8 @@ class Simulation:
         events = self._events
         max_time = self.max_time
         disrupted = self._disrupted
-        coalesce = self._coalesce
+        gray = self._gray
+        coalesce = self._coalesce and not gray
         scratch = self._scratch
         token_bytes = self._token_bytes
         timeline = self._timeline
@@ -953,6 +1044,17 @@ class Simulation:
                 record = owner.record
                 token_times = record.token_times
                 if not token_times:
+                    peer = owner.hedge
+                    if peer is not None:
+                        # First token decides the hedge race: this attempt
+                        # wins, the peer is cancelled (and the winner, if
+                        # it was the shadow, is promoted to primary).
+                        owner.hedge = None
+                        peer.hedge = None
+                        owner.is_hedge = False
+                        if peer.sched_id in self._active:
+                            self._cancel_attempt(peer)
+                        disrupted = True
                     record.first_token_time = t
                 token_times.append(t)
                 record.tokens_generated += 1
@@ -1006,6 +1108,10 @@ class Simulation:
                     if queueing > channel.max_queueing_delay:
                         channel.max_queueing_delay = queueing
                     arrival = end + channel.latency
+                    if gray:
+                        fault = channel.fault
+                        if fault is not None:
+                            arrival += fault.delay()
                     seq = self._seq
                     self._seq = seq + 1
                     if coalesce:
@@ -1216,21 +1322,120 @@ class Simulation:
         for index, hop in enumerate(active.hops):
             hop.pool.free(active.kv_allocated(index))
         active.live = False
-        del self._active[active.request_id]
-        self.scheduler.notify_finished(active.request_id)
+        del self._active[active.sched_id]
+        self.scheduler.notify_finished(active.sched_id)
         self._retry_pending()
 
     # ------------------------------------------------------------------
     # Online dynamics: failures, repairs, and live replanning
     # ------------------------------------------------------------------
+    def _cancel_attempt(self, active: _ActiveRequest) -> None:
+        """Kill one attempt without touching its (possibly shared) record.
+
+        Used for hedge losers and abandoned requests: surviving KV charges
+        are released, the liveness flip drops every in-flight event, and
+        the scheduler forgets the attempt. Unlike :meth:`_requeue` the
+        request does not re-enter the pending queue.
+        """
+        down = self._down_nodes
+        silent = self._silent_down
+        for index, hop in enumerate(active.hops):
+            node_id = hop.node_id
+            if node_id not in down and node_id not in silent:
+                hop.pool.free(active.kv_allocated(index))
+        active.live = False
+        self._disrupted = True
+        del self._active[active.sched_id]
+        self.scheduler.notify_failed(active.sched_id)
+
+    def _ttft_check(self, active: _ActiveRequest) -> None:
+        """Re-dispatch an attempt that produced no token within the TTFT bound."""
+        if not active.live or active.is_hedge:
+            return
+        if active.record.token_times:
+            return
+        self._requeue(active, migrated=False)
+        self._retry_pending()
+
+    def _deadline_check(self, request_id: str) -> None:
+        """Abandon a request that missed its end-to-end deadline."""
+        record = self._records.get(request_id)
+        if record is None or record.finished or record.shed or record.lost:
+            return
+        active = self._active.get(request_id)
+        if active is not None:
+            peer = active.hedge
+            if peer is not None:
+                active.hedge = None
+                peer.hedge = None
+                if peer.sched_id in self._active:
+                    self._cancel_attempt(peer)
+            record.tokens_lost += record.tokens_generated
+            record.tokens_generated = 0
+            self._cancel_attempt(active)
+        else:
+            # Waiting in the pending queue (or sitting out a backoff — the
+            # re-arm callback checks the lost flag and drops it).
+            for request in self._pending:
+                if request.request_id == request_id:
+                    self._pending.remove(request)
+                    break
+        record.lost = True
+        self._requests_lost += 1
+        self._retry_pending()
+
+    def _try_hedge(self, active: _ActiveRequest) -> None:
+        """Dispatch a shadow attempt for a first-token-less primary."""
+        if not active.live or active.is_hedge or active.hedge is not None:
+            return
+        record = active.record
+        if record.token_times or record.finished:
+            return
+        hedge_id = active.sched_id + "#hedge"
+        if hedge_id in self._active:
+            return
+        pipeline = self.scheduler.schedule(hedge_id, active.request.input_len)
+        if pipeline is None:
+            return
+        hedge = _ActiveRequest(
+            request=active.request, pipeline=pipeline, record=record,
+            attempt=active.attempt,
+        )
+        hedge.sched_id = hedge_id
+        hedge.is_hedge = True
+        try:
+            self._build_hops(hedge)
+        except SimulationError:
+            self.scheduler.notify_failed(hedge_id)
+            return
+        hedge.hedge = active
+        active.hedge = hedge
+        self._active[hedge_id] = hedge
+        self._start_prompt(hedge)
+
     def _requeue(self, active: _ActiveRequest, migrated: bool) -> None:
         """Abort an attempt and send the request back to the pending queue.
 
         The attempt's tokens become wasted work, its KV charges on
         surviving nodes are released (the failed node's pool was flushed
         wholesale), and the liveness/attempt bump makes every event the old
-        attempt still has in flight fall on the floor.
+        attempt still has in flight fall on the floor. Under a lifecycle
+        policy the re-dispatch may instead wait out a backoff, or — past
+        the retry budget — abandon the request (*lost*).
         """
+        peer = active.hedge
+        if peer is not None:
+            active.hedge = None
+            peer.hedge = None
+        if active.is_hedge:
+            # A shadow attempt dies quietly; the primary (also requeued by
+            # the same sweep if it routed through the same node) owns the
+            # record and the re-dispatch.
+            if active.sched_id in self._active:
+                self._cancel_attempt(active)
+            return
+        if peer is not None and peer.sched_id in self._active:
+            self._cancel_attempt(peer)
         record = active.record
         record.tokens_lost += record.tokens_generated
         if migrated:
@@ -1242,42 +1447,95 @@ class Simulation:
         record.first_token_time = math.nan
         record.schedule_time = math.nan
         down = self._down_nodes
+        silent = self._silent_down
         for index, hop in enumerate(active.hops):
-            if hop.node_id not in down:
+            node_id = hop.node_id
+            if node_id not in down and node_id not in silent:
                 hop.pool.free(active.kv_allocated(index))
         active.live = False
         self._disrupted = True
-        del self._active[active.request_id]
-        self.scheduler.notify_failed(active.request_id)
-        self._pending.append(active.request)
+        del self._active[active.sched_id]
+        self.scheduler.notify_failed(active.sched_id)
+        policy = self._policy
+        if policy is None:
+            self._pending.append(active.request)
+            return
+        attempts = record.retries + record.migrations
+        if policy.max_retries is not None and attempts > policy.max_retries:
+            record.lost = True
+            self._requests_lost += 1
+            return
+        delay = policy.retry_delay(active.request_id, attempts)
+        if delay <= 0:
+            self._pending.append(active.request)
+            return
+        self._backoff_waiting += 1
 
-    def fail_node(self, node_id: str) -> list[str]:
+        def rearm(sim, request=active.request, record=record):
+            sim._backoff_waiting -= 1
+            if record.lost or record.shed or record.finished:
+                return
+            sim._pending.append(request)
+            sim._retry_pending()
+
+        self.schedule_event(self._now + delay, rearm)
+
+    def fail_node(self, node_id: str, announce: bool = True) -> list[str]:
         """A node crashes: its KV state is lost and its work fails.
 
-        Everything the node was doing dies with it — queued stage work is
-        dropped, the in-flight batch (if any) never completes, and every
-        request whose pipeline routes through the node is requeued for a
-        fresh scheduling attempt on the surviving topology. The scheduler
-        masks the node until :meth:`restore_node`.
+        With ``announce`` (the default) everything happens at once:
+        queued stage work is dropped, the in-flight batch (if any) never
+        completes, every request whose pipeline routes through the node
+        is requeued for a fresh scheduling attempt on the surviving
+        topology, and the scheduler masks the node until
+        :meth:`restore_node`.
 
-        Returns the ids of the requeued requests.
+        With ``announce=False`` only the *physical* half happens — the
+        node stops computing and blackholes everything sent to it — while
+        the control plane stays oblivious: the scheduler keeps routing
+        there and in-flight requests stall. That limbo ends when a
+        failure detector calls :meth:`confirm_node_failure` (or the
+        environment heals the node). This is the silent-crash gray
+        failure.
+
+        Returns the ids of the requeued requests (empty when silent).
         """
         self.cluster.node(node_id)  # referential check
         if node_id in self._down_nodes:
             return []
+        executor = self.executors.get(node_id)
+        pool = self.kv_pools.get(node_id)
+        if not announce:
+            if node_id in self._silent_down:
+                return []
+            self._zombie_nodes.discard(node_id)
+            self._silent_down.add(node_id)
+            self._fault_times.setdefault(node_id, self._now)
+            if executor is not None:
+                executor.epoch += 1
+                executor.queue.clear()
+                executor.queue_tokens = 0
+                executor.queue_tl = 0
+                # A permanently-busy executor is a blackhole: arrivals
+                # enqueue forever and no batch of the new epoch ever runs.
+                executor.busy = True
+            if pool is not None:
+                pool.used_tokens = 0  # KV state is gone
+            return []
+        self._silent_down.discard(node_id)
+        self._zombie_nodes.discard(node_id)
+        self._fault_times.pop(node_id, None)
         self.cluster.set_node_available(node_id, False)
         self._down_nodes.add(node_id)
         self._disrupted = True
         self.scheduler.mark_node_down(node_id)
 
-        executor = self.executors.get(node_id)
         if executor is not None:
             executor.epoch += 1
             executor.queue.clear()
             executor.queue_tokens = 0
             executor.queue_tl = 0
             executor.busy = False
-        pool = self.kv_pools.get(node_id)
         if pool is not None:
             pool.used_tokens = 0  # KV state is gone
 
@@ -1287,15 +1545,174 @@ class Simulation:
             if node_id in active.pipeline.node_ids
         ]
         for rid in requeued:
-            self._requeue(self._active[rid], migrated=False)
+            active = self._active.get(rid)
+            if active is not None:  # hedge peers vanish with their primary
+                self._requeue(active, migrated=False)
         self._retry_pending()
         return requeued
+
+    def confirm_node_failure(self, node_id: str) -> float:
+        """A detector confirms a silently-failed/zombie (or healthy) node dead.
+
+        Completes the control-plane half that ``fail_node(announce=False)``
+        or :meth:`make_zombie` withheld: the scheduler masks the node,
+        stalled requests through it are requeued, and the node's token
+        counter is snapshotted — a confirmed-dead node must never emit
+        another token (the chaos invariants assert it).
+
+        Returns the detection latency (confirmation time minus the true
+        fault onset), or NaN for a false positive: confirming a healthy
+        node takes it down all the same, which is exactly the cost a
+        trigger-happy detector pays.
+        """
+        self.cluster.node(node_id)
+        if node_id in self._down_nodes:
+            return math.nan
+        fault_time = self._fault_times.get(node_id)
+        self._silent_down.discard(node_id)
+        self._zombie_nodes.discard(node_id)
+        self.cluster.set_node_available(node_id, False)
+        self._down_nodes.add(node_id)
+        self._disrupted = True
+        self.scheduler.mark_node_down(node_id)
+        executor = self.executors.get(node_id)
+        if executor is not None:
+            executor.epoch += 1
+            executor.queue.clear()
+            executor.queue_tokens = 0
+            executor.queue_tl = 0
+            executor.busy = False
+            self._confirmed_dead_marks[node_id] = executor.stats.tokens
+        pool = self.kv_pools.get(node_id)
+        if pool is not None:
+            pool.used_tokens = 0
+        requeued = [
+            rid
+            for rid, active in self._active.items()
+            if node_id in active.pipeline.node_ids
+        ]
+        for rid in requeued:
+            active = self._active.get(rid)
+            if active is not None:
+                self._requeue(active, migrated=False)
+        self._retry_pending()
+        if fault_time is None:
+            return math.nan
+        return self._now - fault_time
+
+    def make_zombie(self, node_id: str) -> None:
+        """A node wedges: it accepts work (and heartbeats) but never finishes.
+
+        The in-flight batch goes stale, the queue keeps accumulating
+        arrivals, and — unlike a crash — the KV pool keeps its contents
+        (the process is alive, its memory intact). Heartbeat-only
+        detectors never notice; a progress watchdog or the stalled
+        requests' TTFT timeouts do.
+        """
+        self.cluster.node(node_id)
+        if (
+            node_id in self._down_nodes
+            or node_id in self._silent_down
+            or node_id in self._zombie_nodes
+        ):
+            return
+        self._zombie_nodes.add(node_id)
+        self._fault_times.setdefault(node_id, self._now)
+        executor = self.executors.get(node_id)
+        if executor is not None:
+            executor.epoch += 1  # the running batch never completes
+            executor.busy = True  # accepts arrivals, never starts a batch
+
+    def set_compute_slowdown(self, node_id: str, factor: float) -> None:
+        """A node silently computes ``factor`` times slower (1.0 = healthy).
+
+        Nothing is announced: the scheduler keeps its cost model and the
+        planner its constants — exactly the straggler gray failure. Hop
+        tables of live attempts re-cache the node's decode time so future
+        iterations (including fast-forwarded ones) price correctly.
+        """
+        if factor <= 0:
+            raise SimulationError(
+                f"slowdown factor must be positive, got {factor}"
+            )
+        self.cluster.node(node_id)
+        executor = self.executors.get(node_id)
+        if executor is None:
+            raise SimulationError(
+                f"node {node_id!r} holds no layers; cannot straggle"
+            )
+        executor.set_slowdown(factor)
+        for active in self._active.values():
+            for hop in active.hops:
+                if hop.executor is executor:
+                    hop.decode_time = (
+                        hop.decode_tl / executor.compute_rate
+                        + executor.weights_time
+                        + executor.overhead
+                    )
+
+    def set_link_flaky(
+        self,
+        src: str,
+        dst: str,
+        drop_probability: float,
+        retransmit_delay: float,
+        bidirectional: bool = True,
+    ) -> None:
+        """A link turns lossy: each message may pay retransmit delays.
+
+        Attaches a seeded :class:`~repro.online.faults.LinkFault` to the
+        channel(s) and latches the simulation into gray mode (per-hop
+        events; see ``_gray``). Data messages are delayed, never lost;
+        heartbeats crossing the link may be dropped outright.
+        """
+        from repro.online.faults import LinkFault
+
+        self.cluster.link(src, dst)  # referential check
+        keys = [(src, dst)]
+        if bidirectional and self.cluster.has_link(dst, src):
+            keys.append((dst, src))
+        for key in keys:
+            channel = self.channels.get(key)
+            if channel is None:
+                raise SimulationError(
+                    f"no channel {key[0]!r}->{key[1]!r} to make flaky"
+                )
+            channel.fault = LinkFault(
+                drop_probability,
+                retransmit_delay,
+                seed=f"repro-flaky:{self.seed}:{key[0]}:{key[1]}",
+            )
+        self._gray = True
+
+    def clear_link_flaky(
+        self, src: str, dst: str, bidirectional: bool = True
+    ) -> None:
+        """A flaky link heals (gray mode stays latched for determinism)."""
+        keys = [(src, dst)]
+        if bidirectional:
+            keys.append((dst, src))
+        for key in keys:
+            channel = self.channels.get(key)
+            if channel is not None:
+                channel.fault = None
 
     def restore_node(self, node_id: str) -> None:
         """A failed node rejoins (cold: empty KV, empty queue)."""
         self.cluster.node(node_id)
+        if node_id in self._silent_down or node_id in self._zombie_nodes:
+            # The environment healed an undetected fault. Surface it as a
+            # confirmation first — stalled requests requeue, state resets —
+            # then fall through to the normal rejoin.
+            self.confirm_node_failure(node_id)
         if node_id not in self._down_nodes:
             return
+        self._fault_times.pop(node_id, None)
+        mark = self._confirmed_dead_marks.pop(node_id, None)
+        if mark is not None:
+            executor = self.executors.get(node_id)
+            if executor is not None and executor.stats.tokens != mark:
+                self._dead_node_breaches.append(node_id)
         self.cluster.set_node_available(node_id, True)
         self._down_nodes.discard(node_id)
         self.scheduler.mark_node_up(node_id)
@@ -1412,6 +1829,8 @@ class Simulation:
 
         migrated = []
         for rid, active in list(self._active.items()):
+            if rid not in self._active:
+                continue  # a hedge peer cancelled earlier in this sweep
             if not self._attempt_survives(active.pipeline, placement, rebound):
                 migrated.append(rid)
                 self._requeue(active, migrated=True)
@@ -1455,6 +1874,48 @@ class Simulation:
     def down_nodes(self) -> set[str]:
         """Nodes currently failed."""
         return set(self._down_nodes)
+
+    @property
+    def silent_down_nodes(self) -> set[str]:
+        """Nodes physically dead but not yet confirmed by any detector."""
+        return set(self._silent_down)
+
+    @property
+    def zombie_nodes(self) -> set[str]:
+        """Nodes accepting work (and heartbeating) without making progress."""
+        return set(self._zombie_nodes)
+
+    @property
+    def fault_times(self) -> dict[str, float]:
+        """Ground-truth onset time of every un-restored gray fault."""
+        return dict(self._fault_times)
+
+    @property
+    def requests_shed(self) -> int:
+        """Arrivals rejected by admission control."""
+        return self._requests_shed
+
+    @property
+    def requests_lost(self) -> int:
+        """Requests abandoned (deadline missed or retry budget exhausted)."""
+        return self._requests_lost
+
+    @property
+    def in_flight_requests(self) -> int:
+        """Requests neither finished, shed, nor lost: active attempts
+        (hedge shadows excluded — they share a primary), the pending
+        queue, and requests waiting out a retry backoff."""
+        active = sum(1 for a in self._active.values() if not a.is_hedge)
+        return active + len(self._pending) + self._backoff_waiting
+
+    def dead_node_token_violations(self) -> list[str]:
+        """Confirmed-dead nodes whose token counter moved afterwards."""
+        bad = list(self._dead_node_breaches)
+        for node_id, mark in self._confirmed_dead_marks.items():
+            executor = self.executors.get(node_id)
+            if executor is not None and executor.stats.tokens != mark:
+                bad.append(node_id)
+        return bad
 
     @property
     def pending_requests(self) -> int:

@@ -23,6 +23,7 @@ from repro.testkit.harness import (
 from repro.testkit.invariants import (
     SchedulerAuditor,
     Violation,
+    check_chaos,
     check_flow_solution,
     check_planner_result,
     check_simulation,
@@ -34,6 +35,7 @@ __all__ = [
     "Violation",
     "assert_scenario_ok",
     "check_backend_agreement",
+    "check_chaos",
     "check_flow_solution",
     "check_incremental_compile",
     "check_lns_modes_agree",

@@ -13,7 +13,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.scenarios.generator import SCENARIO_FAMILIES, generate_scenario
+from repro.scenarios.generator import ALL_FAMILIES, generate_scenario
 from repro.testkit.differential import check_milp_oracles
 from repro.testkit.harness import verify_scenario
 
@@ -23,7 +23,7 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.testkit",
         description="Replay and verify one generated scenario.",
     )
-    parser.add_argument("family", choices=SCENARIO_FAMILIES)
+    parser.add_argument("family", choices=ALL_FAMILIES)
     parser.add_argument("seed", type=int)
     parser.add_argument(
         "--size", default="smoke", choices=("smoke", "full"),
@@ -60,7 +60,8 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"finished {m.requests_finished}/{m.requests_submitted} requests, "
             f"decode throughput {m.decode_throughput:.2f} tok/s, "
-            f"{m.requests_retried} retried, {m.requests_migrated} migrated"
+            f"{m.requests_retried} retried, {m.requests_migrated} migrated, "
+            f"{m.requests_shed} shed, {m.requests_lost} lost"
         )
     if report.ok:
         print("OK: every invariant and oracle held")

@@ -19,14 +19,16 @@ from dataclasses import dataclass, field
 
 from repro.bench.runner import make_planner, make_scheduler
 from repro.core.errors import ReproError
+from repro.online.controller import OnlineController
 from repro.placement.base import PlannerResult
 from repro.scenarios.generator import Scenario, generate_scenario
-from repro.sim.metrics import ServingMetrics
+from repro.sim.metrics import DisruptionReport, ServingMetrics
 from repro.sim.simulator import Simulation
 from repro.testkit.differential import check_reevaluate_vs_rebuild
 from repro.testkit.invariants import (
     SchedulerAuditor,
     Violation,
+    check_chaos,
     check_planner_result,
     check_simulation,
 )
@@ -45,6 +47,8 @@ class ScenarioReport:
         planner_used: The placement method that actually served.
         planned_throughput: Max-flow value of the placement.
         metrics: Aggregate serving metrics of the run.
+        disruption: Detection/recovery telemetry (MTTD, false positives,
+            goodput recovery) — only for detection-mode (chaos) runs.
         violations: Every invariant/oracle breach found (empty = pass).
         fingerprint: Digest of the run's observable outcome, stable
             across identical replays.
@@ -54,6 +58,7 @@ class ScenarioReport:
     planner_used: str = "?"
     planned_throughput: float = 0.0
     metrics: ServingMetrics | None = None
+    disruption: DisruptionReport | None = None
     violations: list[Violation] = field(default_factory=list)
     fingerprint: str = ""
 
@@ -103,6 +108,8 @@ def _fingerprint(sim: Simulation, metrics: ServingMetrics) -> str:
         metrics.decode_throughput,
         metrics.requests_retried,
         metrics.requests_migrated,
+        metrics.requests_shed,
+        metrics.requests_lost,
         sim.token_timeline,
     )).encode()
     return hashlib.sha256(payload).hexdigest()
@@ -139,6 +146,19 @@ def run_scenario(scenario: Scenario) -> ScenarioReport:
         seed=scenario.seed,
     )
     auditor = SchedulerAuditor(scheduler)
+    controller = None
+    if scenario.detection:
+        # Chaos scenarios route churn through the online controller so
+        # failures happen *silently* and only the failure detector's
+        # confirmation masks the node (tier-1 flow rewrite; the slow
+        # replanning path stays off to keep sweeps fast). debug_validate
+        # re-validates the cluster after every applied event.
+        controller = OnlineController(
+            scenario.model,
+            events=scenario.churn,
+            replan=False,
+            detection_mode=True,
+        )
     sim = Simulation(
         cluster=scenario.cluster,
         model=scenario.model,
@@ -147,17 +167,27 @@ def run_scenario(scenario: Scenario) -> ScenarioReport:
         requests=scenario.requests,
         max_time=scenario.max_time,
         seed=scenario.seed,
+        controller=controller,
+        policy=scenario.policy,
+        debug_validate=scenario.detection,
     )
-    for event in scenario.churn:
-        if event.time <= scenario.max_time:
-            sim.schedule_event(event.time, event.apply)
+    if controller is None:
+        for event in scenario.churn:
+            if event.time <= scenario.max_time:
+                sim.schedule_event(
+                    event.time, lambda s, ev=event: s.apply_event(ev)
+                )
 
     metrics = sim.run()
     report.metrics = metrics
+    if controller is not None:
+        report.disruption = controller.report(sim)
     report.fingerprint = _fingerprint(sim, metrics)
     report.violations.extend(
         check_simulation(sim, metrics, planner_result.flow)
     )
+    if scenario.detection or scenario.policy is not None:
+        report.violations.extend(check_chaos(sim, metrics))
     report.violations.extend(auditor.violations)
     if auditor.pipelines_audited == 0:
         report.violations.append(Violation(

@@ -236,6 +236,53 @@ def check_simulation(
 
 
 # ----------------------------------------------------------------------
+# Chaos / request-lifecycle invariants
+# ----------------------------------------------------------------------
+def check_chaos(sim: Simulation, metrics: ServingMetrics) -> list[Violation]:
+    """Invariants specific to gray-failure / lifecycle-policy runs.
+
+    * every request ends in at most one terminal state (finished, shed,
+      or lost — never two);
+    * request conservation: ``submitted == finished + shed + lost +
+      in-flight`` (active attempts, pending queue, retry backoffs);
+    * a node confirmed dead by the detector never emits another token.
+    """
+    violations: list[Violation] = []
+
+    for record in sim.records:
+        terminal = int(record.finished) + int(record.shed) + int(record.lost)
+        if terminal > 1:
+            violations.append(Violation(
+                "terminal_state_exclusive",
+                f"request {record.request_id} ended in multiple terminal "
+                f"states (finished={record.finished}, shed={record.shed}, "
+                f"lost={record.lost})",
+            ))
+
+    in_flight = sim.in_flight_requests
+    accounted = (
+        metrics.requests_finished
+        + metrics.requests_shed
+        + metrics.requests_lost
+        + in_flight
+    )
+    if accounted != metrics.requests_submitted:
+        violations.append(Violation(
+            "request_conservation",
+            f"submitted {metrics.requests_submitted} != finished "
+            f"{metrics.requests_finished} + shed {metrics.requests_shed} "
+            f"+ lost {metrics.requests_lost} + in-flight {in_flight}",
+        ))
+
+    for node_id in sim.dead_node_token_violations():
+        violations.append(Violation(
+            "dead_node_progress",
+            f"node {node_id} emitted tokens after being confirmed dead",
+        ))
+    return violations
+
+
+# ----------------------------------------------------------------------
 # Scheduling-layer invariants (live audit)
 # ----------------------------------------------------------------------
 class SchedulerAuditor:

@@ -815,3 +815,242 @@ def test_online_churn_bench_meets_acceptance(tmp_path):
     assert derived["online_replan_count"] >= 1
     assert derived["online_requests_retried"] > 0
     assert derived["online_kv_overflows"] == 0
+
+
+class TestScheduleValidation:
+    """validate_schedule rejects malformed schedules before the run."""
+
+    def test_valid_schedule_passes(self, small_cluster):
+        from repro.online import validate_schedule
+
+        validate_schedule(
+            [
+                NodeFailure(1.0, "a100-0"),
+                NodeRecovery(2.0, "a100-0"),
+                LinkDegradation(3.0, "a100-0", "l4-0"),
+                LinkRecovery(4.0, "a100-0", "l4-0"),
+            ],
+            small_cluster,
+        )
+
+    def test_negative_time_rejected(self, small_cluster):
+        from repro.core.errors import ClusterError
+        from repro.online import validate_schedule
+
+        with pytest.raises(ClusterError, match="negative time"):
+            validate_schedule([NodeFailure(-1.0, "a100-0")], small_cluster)
+
+    def test_unknown_node_rejected(self, small_cluster):
+        from repro.core.errors import ClusterError
+        from repro.online import validate_schedule
+
+        with pytest.raises(ClusterError, match="unknown node"):
+            validate_schedule([NodeFailure(1.0, "nope-0")], small_cluster)
+
+    def test_unknown_link_rejected(self, small_cluster):
+        from repro.core.errors import ClusterError
+        from repro.online import validate_schedule
+
+        with pytest.raises(ClusterError, match="unknown link"):
+            validate_schedule(
+                [LinkDegradation(1.0, "a100-0", "nope-0")], small_cluster
+            )
+
+    def test_recovery_without_failure_rejected(self, small_cluster):
+        from repro.core.errors import ClusterError
+        from repro.online import validate_schedule
+
+        with pytest.raises(ClusterError, match="never failed"):
+            validate_schedule([NodeRecovery(1.0, "a100-0")], small_cluster)
+
+    def test_zombie_counts_as_failure_for_recovery(self, small_cluster):
+        from repro.online import ZombieNode, validate_schedule
+
+        validate_schedule(
+            [ZombieNode(1.0, "t4-0"), NodeRecovery(5.0, "t4-0")],
+            small_cluster,
+        )
+
+    def test_overlapping_partitions_rejected(self, small_cluster):
+        from repro.core.errors import ClusterError
+        from repro.online import validate_schedule
+
+        with pytest.raises(ClusterError, match="overlaps"):
+            validate_schedule(
+                [
+                    NetworkPartition(1.0, ("a100-0",), ("t4-0",)),
+                    NetworkPartition(2.0, ("a100-0",), ("t4-1",)),
+                ],
+                small_cluster,
+            )
+
+    def test_healed_partition_allows_reuse(self, small_cluster):
+        from repro.online import validate_schedule
+
+        validate_schedule(
+            [
+                NetworkPartition(1.0, ("a100-0",), ("t4-0",)),
+                PartitionHeal(2.0, ("a100-0",), ("t4-0",)),
+                NetworkPartition(3.0, ("a100-0",), ("t4-1",)),
+            ],
+            small_cluster,
+        )
+
+    def test_node_join_collision_rejected(self, small_cluster):
+        from repro.cluster import T4
+        from repro.core.errors import ClusterError
+        from repro.online import validate_schedule
+
+        with pytest.raises(ClusterError, match="collides"):
+            validate_schedule(
+                [NodeJoin(1.0, "a100-0", gpu=T4)], small_cluster
+            )
+
+    def test_controller_start_validates(self, small_cluster, tiny_model,
+                                        placement8):
+        from repro.core.errors import ClusterError
+
+        requests = [Request("r0", 16, 2)]
+        flow = FlowGraph(small_cluster, tiny_model, placement8).solve()
+        scheduler = HelixScheduler(
+            small_cluster, tiny_model, placement8, flow=flow
+        )
+        controller = OnlineController(
+            tiny_model, events=[NodeFailure(1.0, "typo-node")], replan=False
+        )
+        sim = Simulation(
+            small_cluster, tiny_model, placement8, scheduler, requests,
+            controller=controller,
+        )
+        with pytest.raises(ClusterError, match="unknown node"):
+            sim.run()
+
+
+class TestDetectorDeterminism:
+    """Same seed + schedule => identical detection behavior (satellite)."""
+
+    @staticmethod
+    def _run_chaos(seed):
+        from repro.bench.runner import make_scheduler
+        from repro.scenarios.generator import generate_scenario
+        from repro.testkit.harness import _plan
+
+        scenario = generate_scenario("chaos", seed, "smoke")
+        _, _, planner_result = _plan(scenario)
+        scheduler = make_scheduler(
+            scenario.scheduler_method, scenario.cluster, scenario.model,
+            planner_result, seed=scenario.seed,
+        )
+        controller = OnlineController(
+            scenario.model, events=scenario.churn, replan=False,
+            detection_mode=True,
+        )
+        sim = Simulation(
+            scenario.cluster, scenario.model, planner_result.placement,
+            scheduler, scenario.requests, max_time=scenario.max_time,
+            seed=scenario.seed, controller=controller,
+            policy=scenario.policy, debug_validate=True,
+        )
+        sim.run()
+        detector = controller.detector
+        return (
+            detector.timeline,
+            controller.detections,
+            detector.false_positives,
+            detector.heartbeats_sent,
+            detector.heartbeats_dropped,
+            sim.token_timeline,
+        )
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_same_seed_identical_detection(self, seed):
+        first = self._run_chaos(seed)
+        second = self._run_chaos(seed)
+        assert first == second
+
+    def test_detection_actually_happens(self):
+        timeline, detections, false_positives, *_ = self._run_chaos(0)
+        assert detections, "seed 0 must exercise a confirmed detection"
+        assert false_positives == 0
+        assert any(row[1].startswith("suspect:") for row in timeline)
+        assert any(row[1].startswith("confirm:") for row in timeline)
+
+
+class TestPhiAccrualPaths:
+    """Exercise the heartbeat/phi branches the watchdog usually shadows."""
+
+    def test_crash_detected_by_phi_when_watchdog_disabled(
+        self, small_cluster, tiny_model, placement8
+    ):
+        from repro.online import DetectorConfig
+
+        requests = [
+            Request(f"r{i}", 32, 8, arrival_time=i * 0.2) for i in range(60)
+        ]
+        flow = FlowGraph(small_cluster, tiny_model, placement8).solve()
+        scheduler = HelixScheduler(
+            small_cluster, tiny_model, placement8, flow=flow
+        )
+        controller = OnlineController(
+            tiny_model,
+            events=[NodeFailure(2.0, "a100-0")],
+            replan=False,
+            detection_mode=True,
+            # Effectively disable the progress watchdog so the missing
+            # heartbeats (phi accrual) must carry the detection.
+            detector_config=DetectorConfig(zombie_timeout=1e9),
+        )
+        sim = Simulation(
+            small_cluster, tiny_model, placement8, scheduler, requests,
+            max_time=60.0, seed=0, controller=controller,
+        )
+        metrics = sim.run()
+        assert len(controller.detections) == 1
+        _, node_id, kind, mttd = controller.detections[0]
+        assert node_id == "a100-0"
+        assert kind == "crash"
+        assert 0.0 < mttd < 15.0
+        assert controller.detector.false_positives == 0
+        assert metrics.requests_finished == 60
+
+    def test_flap_clears_suspicion_damps_threshold_and_counts_fp(self):
+        """A late heartbeat while suspected = a flap: clear + damp + FP."""
+        from repro.online import DetectorConfig, FailureDetector
+
+        class FakeSim:
+            def __init__(self):
+                self.now = 0.0
+                self.down_nodes = set()
+                self.silent_down_nodes = set()
+                self.channels = {}
+                self.executors = {}
+                self.fault_times = {}
+                self.scheduled = []
+
+            def schedule_event(self, when, fn):
+                self.scheduled.append((when, fn))
+
+        from repro.online.detect import _NodeState
+
+        sim = FakeSim()
+        config = DetectorConfig(min_samples=3, phi_threshold=2.0)
+        detector = FailureDetector(sim, config)
+        detector._nodes["n0"] = state = _NodeState(0.0, config.phi_threshold)
+        # Three on-time heartbeats establish the interval window.
+        for t in (0.25, 0.5, 0.75):
+            sim.now = t
+            detector._on_heartbeat("n0")
+        assert len(state.intervals) == 3
+        # Silence long enough that phi crosses the threshold.
+        sim.now = 3.0
+        detector._check()
+        assert detector.suspected == {"n0": "crash"}
+        assert (3.0, "suspect:crash", "n0") in detector.timeline
+        # The node heartbeats after all: suspicion clears, the threshold
+        # damps, and (no ground-truth fault) a false positive is counted.
+        sim.now = 3.1
+        detector._on_heartbeat("n0")
+        assert detector.suspected == {}
+        assert state.threshold == config.phi_threshold * config.flap_damping
+        assert detector.false_positives == 1
+        assert any(row[1] == "clear:crash" for row in detector.timeline)
