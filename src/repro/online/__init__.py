@@ -24,6 +24,7 @@ Quickstart::
 
 from repro.online.events import (
     ClusterEvent,
+    NodeDrain,
     NodeFailure,
     NodeRecovery,
     NodeJoin,
@@ -44,11 +45,13 @@ from repro.online.faults import (
     StragglerStart,
     ZombieNode,
 )
+from repro.online.autoscale import Autoscaler, AutoscalerConfig
 from repro.online.detect import DetectorConfig, FailureDetector
 from repro.online.controller import OnlineController, ReplanRecord
 
 __all__ = [
     "ClusterEvent",
+    "NodeDrain",
     "NodeFailure",
     "NodeRecovery",
     "NodeJoin",
@@ -68,6 +71,8 @@ __all__ = [
     "ZombieNode",
     "DetectorConfig",
     "FailureDetector",
+    "Autoscaler",
+    "AutoscalerConfig",
     "OnlineController",
     "ReplanRecord",
 ]

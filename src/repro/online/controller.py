@@ -49,6 +49,7 @@ from repro.online.events import (
     NetworkPartition,
     NodeFailure,
     NodeJoin,
+    NodeRecovery,
     validate_schedule,
 )
 from repro.sim.metrics import DisruptionReport, disruption_report
@@ -120,6 +121,7 @@ class OnlineController:
         detector_config: DetectorConfig | None = None,
         replan_retries: int = 2,
         replan_retry_backoff: float = 0.5,
+        autoscaler=None,
     ) -> None:
         self.model = model
         self.events = sorted(events, key=lambda e: e.time)
@@ -138,6 +140,10 @@ class OnlineController:
         self.detector_config = detector_config
         self.replan_retries = replan_retries
         self.replan_retry_backoff = replan_retry_backoff
+        #: Optional :class:`~repro.online.autoscale.Autoscaler`; attached
+        #: to the simulation in :meth:`start` so its periodic backlog
+        #: checks ride the same event loop as the churn schedule.
+        self.autoscaler = autoscaler
         self.detector: FailureDetector | None = None
         #: One ``(sim_time, node_id, kind, mttd)`` row per confirmed
         #: detection; ``mttd`` is NaN for a false positive.
@@ -182,6 +188,8 @@ class OnlineController:
                 sim, self.detector_config, on_confirm=self._on_confirmed
             )
             self.detector.start()
+        if self.autoscaler is not None:
+            self.autoscaler.attach(sim, self)
 
     def _handle(self, sim, event: ClusterEvent) -> None:
         if self.detection_mode and type(event) is NodeFailure:
@@ -202,11 +210,21 @@ class OnlineController:
             # no longer covers the cluster; rebuild lazily.
             self._flow_graph = None
         if isinstance(
-            event, (NodeJoin, LinkDegradation, LinkRecovery, NetworkPartition)
+            event,
+            (
+                NodeJoin,
+                NodeRecovery,
+                LinkDegradation,
+                LinkRecovery,
+                NetworkPartition,
+            ),
         ):
             # Cached planners snapshot link objects/capacities; any event
             # that changes links (join, degradation, partition, repair —
-            # PartitionHeal subclasses NetworkPartition) invalidates them.
+            # PartitionHeal subclasses NetworkPartition) or the available
+            # subcluster itself (join, recovery) invalidates them: a
+            # recovery restores a node whose links a cached planner built
+            # while it was down.
             self._planners.clear()
         if event.triggers_replan:
             self.react(sim)
@@ -314,6 +332,17 @@ class OnlineController:
             if planner is None:
                 planner = self._make_planner(sim.cluster.subcluster())
                 self._planners[membership] = planner
+            residency = getattr(sim, "residency", None)
+            if residency is not None and hasattr(
+                planner, "set_residency_hint"
+            ):
+                # Residency-aware replanning: candidates whose layers are
+                # already in VRAM score a warm-start bonus, so the repair
+                # prefers a pre-warmed spare over a cold one — lower MTTR.
+                planner.set_residency_hint(
+                    residency.snapshot(),
+                    warm_bonus=residency.config.warm_bonus,
+                )
             result = planner.replan(
                 base=degraded, lns_rounds=self.replan_lns_rounds
             )
@@ -424,6 +453,14 @@ class OnlineController:
             if applied
             else first_disruption
         )
+        # Control-plane reaction instants: detector confirmations and the
+        # moments applied replans took effect. MTTR cannot precede the
+        # last of these — goodput measured before the control plane even
+        # reacted is survival, not recovery.
+        reaction_times = [row[0] for row in self.detections]
+        reaction_times.extend(
+            r.sim_time + self.replan_delay for r in applied
+        )
         records = sim.records
         return disruption_report(
             sim.token_timeline,
@@ -437,6 +474,7 @@ class OnlineController:
             replan_latencies=[r.wall_seconds for r in applied],
             recovery_threshold=recovery_threshold,
             mttd_samples=[row[3] for row in self.detections],
+            reaction_times=reaction_times,
             false_positives=(
                 self.detector.false_positives if self.detector else 0
             ),

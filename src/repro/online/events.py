@@ -74,6 +74,25 @@ class NodeRecovery(ClusterEvent):
 
 
 @dataclass(frozen=True)
+class NodeDrain(ClusterEvent):
+    """Gracefully remove a node: finish in-flight work, lose nothing.
+
+    The scheduler stops routing new pipelines through the node at once,
+    but attempts already flowing through it run to completion — zero
+    tokens are lost, unlike :class:`NodeFailure`'s crash path. The node
+    counts as a disruption (capacity leaves), and a later
+    :class:`NodeRecovery` brings it back — with layer residency enabled,
+    *instantly*, since a drained node keeps its weights (warm spare).
+    """
+
+    node_id: str = ""
+
+    def apply(self, sim) -> str:
+        sim.drain_node(self.node_id)
+        return f"node {self.node_id} draining"
+
+
+@dataclass(frozen=True)
 class NodeJoin(ClusterEvent):
     """A brand-new node is provisioned into the cluster.
 
@@ -347,6 +366,9 @@ def validate_schedule(events: Sequence[ClusterEvent], cluster) -> None:
         if isinstance(event, NodeFailure):
             check_node(event, event.node_id)
             failed.add(event.node_id)
+        elif isinstance(event, NodeDrain):
+            check_node(event, event.node_id)
+            failed.add(event.node_id)  # out of service; recovery is legal
         elif isinstance(event, NodeRecovery):
             check_node(event, event.node_id)
             if event.node_id not in failed:

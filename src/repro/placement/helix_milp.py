@@ -157,6 +157,29 @@ class HelixMilpPlanner(PlacementPlanner):
         # tighten bounds and append/truncate constraints, so the compiled
         # structure cache stays valid between calls).
         self._replan_formulation: MilpFormulation | None = None
+        # Layer-residency hint (set by the online controller before a
+        # replan): node_id -> resident layer set, plus the relative bonus
+        # a fully-resident placement earns in candidate scoring.
+        self._residency_hint: dict[str, frozenset[int]] | None = None
+        self._residency_bonus: float = 0.0
+
+    def set_residency_hint(
+        self,
+        resident: dict[str, frozenset[int]] | None,
+        warm_bonus: float = 0.15,
+    ) -> None:
+        """Bias candidate scoring toward layers already in VRAM.
+
+        With a hint installed, :meth:`_placement_value` multiplies a
+        placement's max-flow by ``1 + warm_bonus * resident_fraction``,
+        where the fraction counts assigned layers already resident on
+        their assigned node. A warm spare (layers staged, zero transfer
+        needed) therefore beats an equal-throughput cold candidate and
+        the repaired placement starts serving sooner — the
+        residency-aware half of MTTR. Pass ``None`` to clear.
+        """
+        self._residency_hint = resident
+        self._residency_bonus = warm_bonus
 
     # ------------------------------------------------------------------
     # Formulation (Tables 5 and 6)
@@ -424,8 +447,29 @@ class HelixMilpPlanner(PlacementPlanner):
         (:meth:`PlacementPlanner.evaluate_placement`), so the thousands of
         calls issued by hint ranking, LNS windows, and incumbent checks
         rewrite a few edge capacities instead of rebuilding the graph.
+
+        With a residency hint installed (:meth:`set_residency_hint`) the
+        raw max-flow is scaled by the warm-start bonus, so two servable
+        candidates tie-break toward the one whose layers need no weight
+        transfer.
         """
-        return self.placement_throughput(placement, cluster)
+        value = self.placement_throughput(placement, cluster)
+        hint = self._residency_hint
+        if hint is None or value <= 0:
+            return value
+        total = 0
+        resident = 0
+        for nid, stage in placement.assignments.items():
+            total += stage.num_layers
+            have = hint.get(nid)
+            if have:
+                resident += sum(
+                    1 for layer in range(stage.start, stage.end)
+                    if layer in have
+                )
+        if total == 0:
+            return value
+        return value * (1.0 + self._residency_bonus * resident / total)
 
     def _extended_placement(
         self, formulation: MilpFormulation, placement: ModelPlacement,
@@ -757,13 +801,25 @@ class HelixMilpPlanner(PlacementPlanner):
                 candidates.append(
                     ModelPlacement.from_intervals(self.model.num_layers, kept)
                 )
+        # ``lns_rounds=0`` explicitly selects the *deterministic* replan:
+        # no wall-clock-budgeted MILP rounds at all, just incumbent
+        # selection over the degraded base and the heuristic hints. The
+        # elastic scenario family depends on this — fingerprints must
+        # reproduce bit-for-bit, which LNS (solver time limits) cannot
+        # guarantee. ``None`` keeps the legacy at-least-one-round search.
+        rounds = (
+            max(1, self.lns_rounds) if lns_rounds is None else max(0, lns_rounds)
+        )
         incumbent: tuple[float, ModelPlacement] | None = None
         for candidate in candidates:
             value = self._placement_value(candidate, work_cluster)
             if value > 0:
                 incumbent = (value, candidate)
-        if incumbent is None:
-            # The base cannot serve anymore; reseed from the heuristics.
+        if incumbent is None or rounds == 0:
+            # Without LNS the heuristics are the only rivals the base ever
+            # meets, so always score them (this is also how a restored
+            # spare gets adopted — the base predates it); with LNS they
+            # only reseed a base that cannot serve anymore.
             for hint in self.heuristic_hints(work_cluster):
                 value = self._placement_value(hint, work_cluster)
                 if value > 0 and (incumbent is None or value > incumbent[0]):
@@ -773,17 +829,21 @@ class HelixMilpPlanner(PlacementPlanner):
                 "no servable placement exists on the surviving cluster"
             )
 
-        rounds = max(1, self.lns_rounds if lns_rounds is None else lns_rounds)
-        saved_rounds = self.lns_rounds
-        self.lns_rounds = rounds
-        try:
-            placement = self._lns_improve(
-                formulation, work_cluster, incumbent[1]
-            )
-        finally:
-            self.lns_rounds = saved_rounds
-        if self._placement_value(placement) < self._placement_value(incumbent[1]):
+        if rounds == 0:
             placement = incumbent[1]
+        else:
+            saved_rounds = self.lns_rounds
+            self.lns_rounds = rounds
+            try:
+                placement = self._lns_improve(
+                    formulation, work_cluster, incumbent[1]
+                )
+            finally:
+                self.lns_rounds = saved_rounds
+            if self._placement_value(placement) < self._placement_value(
+                incumbent[1]
+            ):
+                placement = incumbent[1]
 
         flow = self.solve_flow(placement)
         return PlannerResult(

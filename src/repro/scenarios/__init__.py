@@ -8,6 +8,7 @@ Every scenario is addressable by ``(family, seed, size)`` — see
 from repro.scenarios.generator import (
     ALL_FAMILIES,
     CHAOS_FAMILY,
+    ELASTIC_FAMILY,
     FULL,
     SCENARIO_FAMILIES,
     SMOKE,
@@ -21,6 +22,7 @@ from repro.scenarios.workloads import WORKLOAD_KINDS, make_workload
 __all__ = [
     "ALL_FAMILIES",
     "CHAOS_FAMILY",
+    "ELASTIC_FAMILY",
     "FULL",
     "SCENARIO_FAMILIES",
     "SMOKE",

@@ -32,9 +32,11 @@ from repro.cluster.node import COORDINATOR
 from repro.cluster.profiler import Profiler
 from repro.core.units import GBIT, MBIT
 from repro.models.specs import ModelSpec
+from repro.online.autoscale import AutoscalerConfig
 from repro.online.events import (
     ChurnConfig,
     ClusterEvent,
+    NodeDrain,
     NodeFailure,
     NodeRecovery,
     random_churn,
@@ -49,6 +51,7 @@ from repro.online.faults import (
 from repro.scenarios.workloads import WORKLOAD_KINDS, make_workload
 from repro.sim.policy import RequestPolicy
 from repro.sim.request import Request
+from repro.sim.residency import ResidencyConfig
 
 #: The topology archetypes the generator can draw.
 SCENARIO_FAMILIES = ("full_mesh", "geo_regions", "star", "sparse_partitioned")
@@ -60,8 +63,16 @@ SCENARIO_FAMILIES = ("full_mesh", "geo_regions", "star", "sparse_partitioned")
 #: the engine-differential guarantees swept over them) are unchanged.
 CHAOS_FAMILY = "chaos"
 
-#: Every generatable family, chaos included.
-ALL_FAMILIES = SCENARIO_FAMILIES + (CHAOS_FAMILY,)
+#: The elastic family: a drawn base topology plus 1-2 *spare* nodes that
+#: start out of service, layer residency on (recovery pays real weight
+#: transfers), a backlog-driven autoscaler, and an elasticity flavor —
+#: flash crowd, regional outage + refill, or drain-and-rejoin under load.
+#: Replanning runs in the deterministic ``lns_rounds=0`` mode so elastic
+#: fingerprints reproduce bit-for-bit.
+ELASTIC_FAMILY = "elastic"
+
+#: Every generatable family, chaos and elastic included.
+ALL_FAMILIES = SCENARIO_FAMILIES + (CHAOS_FAMILY, ELASTIC_FAMILY)
 
 #: Families dense enough that topology-blind heuristic placements always
 #: carry flow, and may therefore draw a VRAM-bound multi-stage model.
@@ -144,6 +155,11 @@ class Scenario:
         detection: Run with a failure detector instead of announced
             failures (chaos scenarios).
         policy: Request-lifecycle policy (``None`` = legacy semantics).
+        residency: Layer-residency config (``None`` = residency off, the
+            legacy engine — elastic scenarios turn it on).
+        autoscaler: Backlog-driven autoscaler config (``None`` = none).
+        spares: Node ids that start out of service as the autoscaler's
+            spare pool.
     """
 
     family: str
@@ -159,6 +175,9 @@ class Scenario:
     max_time: float = 40.0
     detection: bool = False
     policy: RequestPolicy | None = None
+    residency: ResidencyConfig | None = None
+    autoscaler: AutoscalerConfig | None = None
+    spares: tuple[str, ...] = ()
 
     def repro_command(self) -> str:
         """The one-line command that replays this exact scenario."""
@@ -173,6 +192,10 @@ class Scenario:
         extras = ", detection on" if self.detection else ""
         if self.policy is not None:
             extras += ", lifecycle policy"
+        if self.residency is not None:
+            extras += ", residency on"
+        if self.autoscaler is not None:
+            extras += f", autoscaler ({len(self.spares)} spare(s))"
         return (
             f"scenario {self.family}/{self.seed} ({self.size}): "
             f"{self.cluster.describe()}, {self.model.name}, "
@@ -475,6 +498,96 @@ def _draw_gray_faults(
     return sorted(events, key=lambda e: e.time)
 
 
+def _add_spares(
+    rng: random.Random, cluster: Cluster, count: int
+) -> tuple[str, ...]:
+    """Attach ``count`` spare nodes, fully linked but starting down.
+
+    Spares live in region-0 near the coordinator on fresh fast links,
+    so pulling weights from any resident peer is possible the moment the
+    autoscaler (or a recovery event) brings one in.
+    """
+    pool = [gpu for gpu, weight in _GPU_POOL for _ in range(weight)]
+    bandwidth, latency = _intra_bandwidth(rng)
+    existing = list(cluster.node_ids)
+    spares = []
+    for index in range(count):
+        gpu = rng.choice(pool)
+        node_id = f"spare-{index}"
+        cluster.add_node(node_id, gpu, region="region-0")
+        for peer in existing:
+            cluster.connect(node_id, peer, bandwidth, latency)
+        cluster.connect(COORDINATOR, node_id, bandwidth, latency)
+        spares.append(node_id)
+    for node_id in spares:
+        cluster.set_node_available(node_id, False)
+    return tuple(spares)
+
+
+#: Elasticity flavors the elastic family draws from.
+_ELASTIC_FLAVORS = ("flash_crowd", "outage_refill", "scale_up")
+
+
+def _flash_crowd_burst(
+    rng: random.Random, limits: ScenarioLimits
+) -> list[Request]:
+    """A sustained arrival spike that drives the backlog over the
+    scale-up bar long enough for the autoscaler's streak counter to act
+    (several ticks, not one blip): a few seconds of dense long-decode
+    arrivals."""
+    burst_at = limits.max_time * rng.uniform(0.25, 0.4)
+    count = rng.randint(limits.min_requests * 2, limits.min_requests * 4)
+    spacing = rng.uniform(0.02, 0.05)
+    return [
+        Request(
+            request_id=f"burst-{index}",
+            input_len=rng.randint(16, 64),
+            output_len=rng.randint(16, 48),
+            arrival_time=burst_at + index * spacing,
+        )
+        for index in range(count)
+    ]
+
+
+def _draw_elastic_churn(
+    rng: random.Random,
+    cluster: Cluster,
+    spares: tuple[str, ...],
+    limits: ScenarioLimits,
+    flavor: str,
+) -> list[ClusterEvent]:
+    """The scripted half of an elastic scenario's dynamics.
+
+    ``flash_crowd`` is purely workload-driven (the autoscaler does the
+    reacting); ``outage_refill`` kills a base node and brings it back
+    cold; ``scale_up`` gracefully drains a base node and later rejoins
+    it — with residency on the rejoin is warm only if its layers
+    survived (drain retains VRAM, crash wipes it).
+    """
+    horizon = limits.max_time
+    events: list[ClusterEvent] = []
+    victims = sorted(nid for nid in cluster.node_ids if nid not in spares)
+    if flavor == "outage_refill":
+        victim = rng.choice(victims)
+        onset = rng.uniform(horizon * 0.25, horizon * 0.45)
+        events.append(NodeFailure(onset, victim))
+        events.append(
+            NodeRecovery(
+                onset + rng.uniform(horizon * 0.15, horizon * 0.3), victim
+            )
+        )
+    elif flavor == "scale_up":
+        victim = rng.choice(victims)
+        onset = rng.uniform(horizon * 0.25, horizon * 0.4)
+        events.append(NodeDrain(onset, victim))
+        events.append(
+            NodeRecovery(
+                onset + rng.uniform(horizon * 0.2, horizon * 0.35), victim
+            )
+        )
+    return sorted(events, key=lambda e: e.time)
+
+
 def _draw_policy(rng: random.Random, limits: ScenarioLimits) -> RequestPolicy:
     """A request-lifecycle policy sized to the scenario horizon."""
     horizon = limits.max_time
@@ -555,6 +668,56 @@ def generate_scenario(
             max_time=limits.max_time,
             detection=True,
             policy=_draw_policy(rng, limits),
+        )
+
+    if family == ELASTIC_FAMILY:
+        # Elastic rides a drawn base topology plus out-of-service spares;
+        # the model is always the small shape (every node, spares
+        # included, can hold any interval, so replans stay servable).
+        base_family = rng.choice(SCENARIO_FAMILIES)
+        count = rng.randint(limits.min_nodes, limits.max_nodes)
+        cluster = _BUILDERS[base_family](rng, count)
+        spares = _add_spares(rng, cluster, rng.randint(1, 2))
+        cluster.validate()
+        model = _small_model(rng)
+        workload = rng.choice(WORKLOAD_KINDS)
+        num_requests = rng.randint(limits.min_requests, limits.max_requests)
+        requests = make_workload(
+            rng, workload, num_requests, horizon=limits.max_time * 0.5
+        )
+        flavor = rng.choice(_ELASTIC_FLAVORS)
+        if flavor == "flash_crowd":
+            requests = sorted(
+                requests + _flash_crowd_burst(rng, limits),
+                key=lambda r: r.arrival_time,
+            )
+        warm: dict[str, tuple[int, int]] = {}
+        if rng.random() < 0.5:
+            # Half the draws pre-stage the first spare's weights: the
+            # warm-vs-cold MTTR contrast the benchmarks measure.
+            warm[spares[0]] = (0, model.num_layers)
+        return Scenario(
+            family=family,
+            seed=seed,
+            size=size,
+            cluster=cluster,
+            model=model,
+            requests=requests,
+            workload=workload,
+            churn=_draw_elastic_churn(rng, cluster, spares, limits, flavor),
+            planner_method=rng.choice(_PLANNER_METHODS),
+            scheduler_method=rng.choice(_SCHEDULER_METHODS),
+            max_time=limits.max_time,
+            residency=ResidencyConfig(warm=warm),
+            autoscaler=AutoscalerConfig(
+                interval=rng.uniform(0.5, 1.0),
+                backlog_high=rng.randint(6, 12),
+                high_ticks=rng.randint(1, 2),
+                idle_ticks=rng.randint(6, 10),
+                cooldown=rng.uniform(3.0, 6.0),
+                start_after=rng.uniform(1.0, 3.0),
+            ),
+            spares=spares,
         )
 
     count = rng.randint(limits.min_nodes, limits.max_nodes)

@@ -121,6 +121,10 @@ class Scheduler(abc.ABC):
         self.outstanding: dict[str, int] = {nid: 0 for nid in placement.used_nodes}
         #: Nodes currently down; masked from every pipeline walk.
         self.down_nodes: set[str] = set()
+        #: Nodes still pulling their assigned layers (layer residency):
+        #: placed but not yet servable, masked like down nodes until the
+        #: simulator calls :meth:`mark_node_warm`.
+        self.warming_nodes: set[str] = set()
         #: Pending-queue depth above which :meth:`admit` sheds arrivals
         #: (``None`` = admit everything, the legacy semantics). Set by the
         #: simulator from the run's :class:`~repro.sim.policy.RequestPolicy`.
@@ -164,6 +168,7 @@ class Scheduler(abc.ABC):
                 for nid in self.topology.node_successors(current)
                 if nid not in visited
                 and nid not in self.down_nodes
+                and nid not in self.warming_nodes
                 and self._admits(nid, input_len)
             ]
             chosen = self._choose_next(current, candidates, input_len)
@@ -242,6 +247,14 @@ class Scheduler(abc.ABC):
     def mark_node_up(self, node_id: str) -> None:
         """Lift a node's failure mask."""
         self.down_nodes.discard(node_id)
+
+    def mark_node_warming(self, node_id: str) -> None:
+        """Mask a node whose assigned layers are not yet resident."""
+        self.warming_nodes.add(node_id)
+
+    def mark_node_warm(self, node_id: str) -> None:
+        """Lift a node's warming mask (its layers landed in VRAM)."""
+        self.warming_nodes.discard(node_id)
 
     def apply_placement(self, placement: ModelPlacement, flow=None) -> None:
         """Hot-swap a replanned placement without dropping in-flight state.

@@ -28,10 +28,21 @@ from repro.sim.metrics import (
     goodput_timeline,
 )
 from repro.sim.policy import RequestPolicy
-from repro.sim.simulator import Simulation
+from repro.sim.residency import (
+    EvictionRecord,
+    ResidencyConfig,
+    ResidencyManager,
+    WarmupRecord,
+)
+from repro.sim.simulator import DrainRecord, Simulation
 
 __all__ = [
     "RequestPolicy",
+    "ResidencyConfig",
+    "ResidencyManager",
+    "WarmupRecord",
+    "EvictionRecord",
+    "DrainRecord",
     "Request",
     "KVCachePool",
     "LinkChannel",

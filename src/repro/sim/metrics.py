@@ -318,6 +318,13 @@ class DisruptionReport:
         mttd_mean: Mean time-to-detection across confirmed real failures
             in detection mode, simulated seconds (NaN when none).
         mttd_max: Worst time-to-detection (NaN when none).
+        mttr: End-to-end mean-time-to-repair: seconds from the first
+            failure until goodput is back above the recovery threshold
+            *after the control plane's last reaction* (detection or
+            applied replan). Unlike :attr:`time_to_recovery` it cannot be
+            satisfied by pre-reaction survival goodput, so by construction
+            ``mttd_max <= mttr`` whenever both are finite (NaN if goodput
+            never recovered).
         false_positives: Healthy nodes the detector wrongly confirmed dead.
         requests_shed: Requests rejected by admission control.
         requests_lost: Requests abandoned (retry budget / deadline).
@@ -338,6 +345,7 @@ class DisruptionReport:
     replan_latency_max: float
     mttd_mean: float = math.nan
     mttd_max: float = math.nan
+    mttr: float = math.nan
     false_positives: int = 0
     requests_shed: int = 0
     requests_lost: int = 0
@@ -370,6 +378,7 @@ def disruption_report(
     recovery_threshold: float = 0.7,
     settle: float | None = None,
     mttd_samples: list[float] | None = None,
+    reaction_times: list[float] | None = None,
     false_positives: int = 0,
     requests_shed: int = 0,
     requests_lost: int = 0,
@@ -390,6 +399,10 @@ def disruption_report(
         settle: Seconds after ``recovered_from`` excluded from the post
             window (default: one window).
         mttd_samples: Per-failure detection latencies (detection mode).
+        reaction_times: Absolute sim times of control-plane reactions
+            (detector confirmations, applied replans); gates the MTTR
+            search so goodput measured before the control plane reacted
+            does not count as "repaired".
         false_positives: Healthy nodes wrongly confirmed dead.
         requests_shed / requests_lost: Lifecycle counters from
             :class:`ServingMetrics`.
@@ -419,11 +432,26 @@ def disruption_report(
     )
 
     time_to_recovery = math.nan
+    mttr = math.nan
     if pre_goodput and not math.isnan(pre_goodput):
         bar = recovery_threshold * pre_goodput
         for start, rate in timeline:
             if start >= first_disruption and rate >= bar:
                 time_to_recovery = max(0.0, start - first_disruption)
+                break
+        # MTTR: the first recovered bucket that *ends* after the control
+        # plane's last reaction. Measuring to the bucket end (not start)
+        # makes the ordering MTTD <= MTTR structural: a failure confirmed
+        # at time t can only be repaired in a bucket reaching past t.
+        reactions = [t for t in (reaction_times or []) if not math.isnan(t)]
+        gate = max([first_disruption, *reactions])
+        for start, rate in timeline:
+            if (
+                start >= first_disruption
+                and start + window > gate
+                and rate >= bar
+            ):
+                mttr = start + window - first_disruption
                 break
 
     latencies = list(replan_latencies or [])
@@ -446,6 +474,7 @@ def disruption_report(
         replan_latency_max=max(latencies) if latencies else math.nan,
         mttd_mean=sum(mttds) / len(mttds) if mttds else math.nan,
         mttd_max=max(mttds) if mttds else math.nan,
+        mttr=mttr,
         false_positives=false_positives,
         requests_shed=requests_shed,
         requests_lost=requests_lost,

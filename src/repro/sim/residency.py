@@ -1,0 +1,226 @@
+"""Layer residency: which model layers actually live in each node's VRAM.
+
+Recovery is not free. A node that rejoins after a crash (or a spare pulled
+in by the autoscaler) holds *nothing*: before it can serve its assigned
+stage it must download those layer weights through the same network the
+inference traffic uses. This module is the bookkeeping half of that story:
+
+* :class:`ResidencyConfig` — per-run switches: which nodes start
+  pre-warmed (a standby replica that already staged weights), and how big
+  one layer's transfer is (default: the model's true ``layer_bytes``).
+* :class:`ResidencyManager` — the live ledger the simulator owns when
+  residency is enabled. It tracks the resident layer set per node, the
+  in-progress *warming* pulls (with generation tokens so a crash mid-pull
+  cancels the landing), VRAM-budget evictions, and an append-only
+  ``warmup_log`` / ``eviction_log`` for tests and benchmarks.
+
+The simulator drives the ledger (see ``Simulation._warm_node``): transfers
+are issued through real :class:`~repro.sim.network_sim.LinkChannel` queues
+so weight pulls contend with inference activations — rejoining a node
+visibly dips serving goodput, which is exactly the effect the benchmarks
+measure. With ``residency=None`` (the default) none of this exists and the
+engine is bit-identical to the residency-less simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class ResidencyConfig:
+    """Switches of one residency-enabled run.
+
+    Attributes:
+        warm: Pre-warmed nodes: ``node_id -> (start, end)`` layer interval
+            already staged in VRAM at t=0 (on top of the initial
+            placement, whose serving nodes are always resident). This is
+            how a standby spare differs from a cold one.
+        layer_bytes: Bytes transferred per pulled layer. ``None`` uses the
+            served model's ``layer_bytes`` (FP16 weights); tests may
+            shrink it to keep warm-up windows tiny.
+        warm_bonus: Relative scoring bonus a fully-resident placement gets
+            during residency-aware replanning (see
+            ``HelixMilpPlanner.set_residency_hint``).
+    """
+
+    warm: Mapping[str, tuple[int, int]] = field(default_factory=dict)
+    layer_bytes: float | None = None
+    warm_bonus: float = 0.15
+
+
+@dataclass(frozen=True)
+class WarmupRecord:
+    """One completed layer pull: a node went from cold to schedulable."""
+
+    node_id: str
+    started: float
+    completed: float
+    layers: tuple[int, ...]
+    bytes_pulled: float
+    sources: tuple[str, ...]
+
+    @property
+    def duration(self) -> float:
+        """The warm-up window: seconds the node was unschedulable."""
+        return self.completed - self.started
+
+
+@dataclass(frozen=True)
+class EvictionRecord:
+    """Layers dropped from a node's VRAM to make room for new ones."""
+
+    node_id: str
+    time: float
+    layers: tuple[int, ...]
+
+
+class ResidencyManager:
+    """The live layer-residency ledger of one simulation.
+
+    Built by :class:`~repro.sim.simulator.Simulation` when a
+    :class:`ResidencyConfig` is passed; never constructed on the default
+    path. All mutation goes through the simulator's warming hooks.
+    """
+
+    def __init__(self, config: ResidencyConfig, model, placement) -> None:
+        self.config = config
+        self.model = model
+        #: node_id -> set of resident layer indices.
+        self.resident: dict[str, set[int]] = {}
+        for node_id in placement.used_nodes:
+            stage = placement.interval(node_id)
+            self.resident[node_id] = set(range(stage.start, stage.end))
+        for node_id, (start, end) in config.warm.items():
+            self.resident.setdefault(node_id, set()).update(range(start, end))
+        #: node_id -> generation token of its in-progress warm-up.
+        self._warming: dict[str, int] = {}
+        self._pending: dict[str, tuple[int, ...]] = {}
+        self._started: dict[str, float] = {}
+        self._bytes: dict[str, float] = {}
+        self._sources: dict[str, tuple[str, ...]] = {}
+        self._token = 0
+        #: Every completed warm-up, in completion order.
+        self.warmup_log: list[WarmupRecord] = []
+        #: Every VRAM eviction, in order.
+        self.eviction_log: list[EvictionRecord] = []
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def layers_of(self, node_id: str) -> set[int]:
+        """The node's resident layer set (empty when cold)."""
+        return self.resident.get(node_id, set())
+
+    def is_resident(self, node_id: str, start: int, end: int) -> bool:
+        """Whether layers ``[start, end)`` are all in the node's VRAM."""
+        have = self.resident.get(node_id)
+        if have is None:
+            return False
+        return all(layer in have for layer in range(start, end))
+
+    def is_warming(self, node_id: str) -> bool:
+        """Whether the node has an in-progress weight pull."""
+        return node_id in self._warming
+
+    @property
+    def warming_nodes(self) -> set[str]:
+        """Nodes currently pulling weights (unschedulable)."""
+        return set(self._warming)
+
+    def pending_layers(self, node_id: str) -> tuple[int, ...]:
+        """Layers the node's in-progress warm-up is pulling."""
+        return self._pending.get(node_id, ())
+
+    def snapshot(self) -> dict[str, frozenset[int]]:
+        """Immutable resident-set view for residency-aware replanning."""
+        return {nid: frozenset(layers) for nid, layers in self.resident.items()}
+
+    # ------------------------------------------------------------------
+    # Mutation (driven by the simulator)
+    # ------------------------------------------------------------------
+    def flush(self, node_id: str) -> None:
+        """A crash wipes the node's VRAM and cancels any warm-up."""
+        self.resident.pop(node_id, None)
+        self.cancel(node_id)
+
+    def cancel(self, node_id: str) -> None:
+        """Abandon an in-progress warm-up (the landing becomes a no-op)."""
+        self._warming.pop(node_id, None)
+        self._pending.pop(node_id, None)
+        self._started.pop(node_id, None)
+        self._bytes.pop(node_id, None)
+        self._sources.pop(node_id, None)
+
+    def begin(
+        self,
+        node_id: str,
+        layers: tuple[int, ...],
+        now: float,
+        total_bytes: float,
+        sources: tuple[str, ...],
+    ) -> int:
+        """Start a warm-up pulling ``layers``; returns its generation token.
+
+        A later :meth:`begin`/:meth:`flush` for the same node invalidates
+        the token, so a landing scheduled against a superseded pull
+        quietly drops.
+        """
+        self._token += 1
+        self._warming[node_id] = self._token
+        self._pending[node_id] = tuple(layers)
+        self._started[node_id] = now
+        self._bytes[node_id] = total_bytes
+        self._sources[node_id] = tuple(sources)
+        return self._token
+
+    def still_valid(self, node_id: str, token: int) -> bool:
+        """Whether a warm-up landing still corresponds to the live pull."""
+        return self._warming.get(node_id) == token
+
+    def complete(self, node_id: str, now: float) -> WarmupRecord:
+        """The pull landed: layers become resident, the node warm."""
+        layers = self._pending.pop(node_id, ())
+        self.resident.setdefault(node_id, set()).update(layers)
+        record = WarmupRecord(
+            node_id=node_id,
+            started=self._started.pop(node_id, now),
+            completed=now,
+            layers=layers,
+            bytes_pulled=self._bytes.pop(node_id, 0.0),
+            sources=self._sources.pop(node_id, ()),
+        )
+        self._warming.pop(node_id, None)
+        self.warmup_log.append(record)
+        return record
+
+    def evict_for(
+        self, node_id: str, needed: set[int], budget: int, now: float
+    ) -> tuple[int, ...]:
+        """Free VRAM so ``needed`` fits within ``budget`` total layers.
+
+        Layers the new assignment reuses are kept (that is the point of
+        preferring warm nodes); surplus layers outside ``needed`` are
+        evicted highest-index first until the union fits. Returns the
+        evicted layers.
+        """
+        have = self.resident.get(node_id)
+        if not have:
+            return ()
+        overflow = len(have | needed) - budget
+        if overflow <= 0:
+            return ()
+        extras = sorted(have - needed, reverse=True)
+        evicted = tuple(extras[:overflow])
+        have.difference_update(evicted)
+        if evicted:
+            self.eviction_log.append(EvictionRecord(node_id, now, evicted))
+        return evicted
+
+    @property
+    def layer_bytes(self) -> float:
+        """Bytes per pulled layer (config override or the model's)."""
+        if self.config.layer_bytes is not None:
+            return self.config.layer_bytes
+        return self.model.layer_bytes

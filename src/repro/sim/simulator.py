@@ -66,6 +66,7 @@ from __future__ import annotations
 import math
 from bisect import bisect_right
 from collections import deque
+from dataclasses import dataclass
 from heapq import heappop, heappush
 from typing import Callable
 
@@ -196,6 +197,26 @@ class _ActiveRequest:
         return prompt + q + (1 if stage_index < r else 0)
 
 
+@dataclass(frozen=True)
+class DrainRecord:
+    """One completed graceful drain: the node left with zero lost work.
+
+    ``kv_leaked`` is the KV tokens still charged to the node's pool when
+    the drain finalized — a clean drain leaks nothing (every attempt that
+    routed through the node finished and freed its charges first).
+    """
+
+    node_id: str
+    started: float
+    completed: float
+    kv_leaked: int
+
+    @property
+    def duration(self) -> float:
+        """Seconds between drain request and the node leaving service."""
+        return self.completed - self.started
+
+
 class Simulation:
     """Simulate serving a request trace on a placed cluster.
 
@@ -227,6 +248,14 @@ class Simulation:
             timeline; keep it a power of two so windowed goodput over the
             derived view matches the exact timeline (see
             :class:`~repro.sim.metrics.TokenTimeline`).
+        residency: Optional :class:`~repro.sim.residency.ResidencyConfig`.
+            When set, nodes track which model layers actually live in
+            their VRAM: a node that (re)joins the placement *warms up*
+            first — its missing layers are pulled as real weight-transfer
+            traffic through the link channels (contending with inference
+            activations), and it only becomes schedulable when they land.
+            ``None`` (the default) keeps the legacy instant-recovery
+            semantics bit-identically.
     """
 
     def __init__(
@@ -246,6 +275,7 @@ class Simulation:
         timeline_resolution: float = 0.0625,
         policy=None,
         debug_validate: bool = False,
+        residency=None,
     ) -> None:
         if not requests:
             raise SimulationError("request trace is empty")
@@ -313,6 +343,22 @@ class Simulation:
         for node_id in cluster.down_node_ids:
             self._down_nodes.add(node_id)
             self.scheduler.mark_node_down(node_id)
+
+        # Layer residency (None on the default path: zero extra work, the
+        # engine is bit-identical to the residency-less simulator).
+        if residency is not None:
+            from repro.sim.residency import ResidencyManager
+
+            self._residency = ResidencyManager(residency, model, placement)
+        else:
+            self._residency = None
+        # Graceful drain: nodes finishing their in-flight work before
+        # leaving service (independent of residency; always available).
+        self._draining: set[str] = set()
+        self._drain_started: dict[str, float] = {}
+        self._drain_waiters: dict[str, Callable] = {}
+        #: Every completed drain, in completion order.
+        self.drain_log: list[DrainRecord] = []
 
         # Hot-loop constants and state.
         self._coalesce = coalescing
@@ -1324,6 +1370,8 @@ class Simulation:
         active.live = False
         del self._active[active.sched_id]
         self.scheduler.notify_finished(active.sched_id)
+        if self._draining:
+            self._check_drains()
         self._retry_pending()
 
     # ------------------------------------------------------------------
@@ -1347,6 +1395,8 @@ class Simulation:
         self._disrupted = True
         del self._active[active.sched_id]
         self.scheduler.notify_failed(active.sched_id)
+        if self._draining:
+            self._check_drains()
 
     def _ttft_check(self, active: _ActiveRequest) -> None:
         """Re-dispatch an attempt that produced no token within the TTFT bound."""
@@ -1456,6 +1506,8 @@ class Simulation:
         self._disrupted = True
         del self._active[active.sched_id]
         self.scheduler.notify_failed(active.sched_id)
+        if self._draining:
+            self._check_drains()
         policy = self._policy
         if policy is None:
             self._pending.append(active.request)
@@ -1511,6 +1563,10 @@ class Simulation:
             self._zombie_nodes.discard(node_id)
             self._silent_down.add(node_id)
             self._fault_times.setdefault(node_id, self._now)
+            if self._residency is not None:
+                # The crash wipes VRAM; the control plane learns when the
+                # failure is confirmed, but the physics happens now.
+                self._residency.flush(node_id)
             if executor is not None:
                 executor.epoch += 1
                 executor.queue.clear()
@@ -1525,6 +1581,10 @@ class Simulation:
         self._silent_down.discard(node_id)
         self._zombie_nodes.discard(node_id)
         self._fault_times.pop(node_id, None)
+        self._abort_drain(node_id)
+        if self._residency is not None:
+            self._residency.flush(node_id)
+            self.scheduler.mark_node_warm(node_id)
         self.cluster.set_node_available(node_id, False)
         self._down_nodes.add(node_id)
         self._disrupted = True
@@ -1571,6 +1631,10 @@ class Simulation:
         fault_time = self._fault_times.get(node_id)
         self._silent_down.discard(node_id)
         self._zombie_nodes.discard(node_id)
+        self._abort_drain(node_id)
+        if self._residency is not None:
+            self._residency.flush(node_id)
+            self.scheduler.mark_node_warm(node_id)
         self.cluster.set_node_available(node_id, False)
         self._down_nodes.add(node_id)
         self._disrupted = True
@@ -1688,7 +1752,16 @@ class Simulation:
     def clear_link_flaky(
         self, src: str, dst: str, bidirectional: bool = True
     ) -> None:
-        """A flaky link heals (gray mode stays latched for determinism)."""
+        """A flaky link heals.
+
+        Once the *last* live fault object is gone, gray mode unlatches:
+        coalescing, vectorization, and the fast-forward come back on. That
+        is safe because fault delays only perturb *future* arrivals —
+        everything already in the heap was priced when its fault (if any)
+        was live, and with no fault remaining, new hop groups are sorted
+        again. A differential test asserts post-heal timelines are
+        unchanged against a per-hop run.
+        """
         keys = [(src, dst)]
         if bidirectional:
             keys.append((dst, src))
@@ -1696,6 +1769,10 @@ class Simulation:
             channel = self.channels.get(key)
             if channel is not None:
                 channel.fault = None
+        if self._gray and all(
+            channel.fault is None for channel in self.channels.values()
+        ):
+            self._gray = False
 
     def restore_node(self, node_id: str) -> None:
         """A failed node rejoins (cold: empty KV, empty queue)."""
@@ -1719,7 +1796,200 @@ class Simulation:
         pool = self.kv_pools.get(node_id)
         if pool is not None:
             pool.used_tokens = 0
+        if self._residency is not None and self.placement.holds_layers(node_id):
+            # Recovery is not free: the node must pull its assigned layers
+            # before it can serve (no-op if they are still resident — a
+            # drained warm spare rejoins instantly).
+            self._warm_node(node_id)
         self._retry_pending()
+
+    # ------------------------------------------------------------------
+    # Graceful drain
+    # ------------------------------------------------------------------
+    def drain_node(
+        self, node_id: str, on_complete: Callable | None = None
+    ) -> None:
+        """Gracefully remove a node: finish in-flight work, lose nothing.
+
+        The scheduler stops routing *new* pipelines through the node
+        immediately (and replans exclude it — its cluster availability
+        flips), but every attempt already routed through it runs to
+        completion. When the last one finishes, the node leaves service
+        for real: it joins the down set, its executor quiesces, its KV
+        accounting is released (a clean drain releases zero — everything
+        was freed by the finishing requests), a :class:`DrainRecord` lands
+        in :attr:`drain_log`, and ``on_complete(sim)`` fires. Resident
+        layers are *retained*: a drained node is a warm spare that can
+        rejoin without re-pulling weights.
+
+        Draining a silently-dead or zombie node cannot be graceful — it is
+        surfaced as a failure confirmation instead.
+        """
+        self.cluster.node(node_id)
+        if node_id in self._down_nodes or node_id in self._draining:
+            return
+        if node_id in self._silent_down or node_id in self._zombie_nodes:
+            self.confirm_node_failure(node_id)
+            return
+        self._draining.add(node_id)
+        self._drain_started[node_id] = self._now
+        if on_complete is not None:
+            self._drain_waiters[node_id] = on_complete
+        self.scheduler.mark_node_down(node_id)
+        self.cluster.set_node_available(node_id, False)
+        self._check_drains()
+
+    def _check_drains(self) -> None:
+        """Finalize every draining node with no remaining in-flight work."""
+        for node_id in sorted(self._draining):
+            for active in self._active.values():
+                if node_id in active.pipeline.node_ids:
+                    break
+            else:
+                self._finalize_drain(node_id)
+
+    def _finalize_drain(self, node_id: str) -> None:
+        started = self._drain_started.pop(node_id, self._now)
+        waiter = self._drain_waiters.pop(node_id, None)
+        self._draining.discard(node_id)
+        self._down_nodes.add(node_id)
+        executor = self.executors.get(node_id)
+        if executor is not None:
+            executor.epoch += 1
+            executor.queue.clear()
+            executor.queue_tokens = 0
+            executor.queue_tl = 0
+            executor.busy = False
+        kv_leaked = 0
+        pool = self.kv_pools.get(node_id)
+        if pool is not None:
+            kv_leaked = pool.used_tokens
+            pool.used_tokens = 0
+        self.drain_log.append(
+            DrainRecord(node_id, started, self._now, kv_leaked)
+        )
+        if waiter is not None:
+            waiter(self)
+
+    def _abort_drain(self, node_id: str) -> None:
+        """A crash supersedes an in-progress drain (no DrainRecord)."""
+        self._draining.discard(node_id)
+        self._drain_started.pop(node_id, None)
+        self._drain_waiters.pop(node_id, None)
+
+    # ------------------------------------------------------------------
+    # Layer residency: warm-up pulls and eviction
+    # ------------------------------------------------------------------
+    def _warm_node(self, node_id: str) -> None:
+        """Pull the node's missing assigned layers through the network.
+
+        Each missing layer is one weight transfer on a real link channel
+        — from a peer that holds the layer resident when one is reachable,
+        else from the coordinator (the weight store) — so warm-up traffic
+        queues behind (and delays) inference activations on shared links.
+        The node is masked ``warming`` until the last transfer lands.
+        Already-resident layers cost nothing; surplus layers are evicted
+        when the VRAM layer budget would overflow.
+        """
+        res = self._residency
+        stage = self.placement.interval(node_id)
+        needed = set(range(stage.start, stage.end))
+        missing = sorted(needed - res.layers_of(node_id))
+        if not missing:
+            if res.is_warming(node_id):
+                res.cancel(node_id)
+            self.scheduler.mark_node_warm(node_id)
+            return
+        if res.is_warming(node_id) and res.pending_layers(node_id) == tuple(
+            missing
+        ):
+            return  # the in-flight pull already covers exactly this need
+        budget = self.profiler.max_layers(self.cluster.node(node_id), self.model)
+        res.evict_for(node_id, needed, budget, self._now)
+        layer_bytes = res.layer_bytes
+        now = self._now
+        gray = self._gray
+        sources: list[str] = []
+        latest = now
+        for layer in missing:
+            src, channel = self._weight_source(node_id, layer)
+            sources.append(src)
+            arrival = channel.transmit(now, layer_bytes)
+            if gray:
+                fault = channel.fault
+                if fault is not None:
+                    arrival += fault.delay()
+            if arrival > latest:
+                latest = arrival
+        token = res.begin(
+            node_id, tuple(missing), now,
+            layer_bytes * len(missing), tuple(sorted(set(sources))),
+        )
+        self.scheduler.mark_node_warming(node_id)
+        self.schedule_event(
+            latest,
+            lambda s, nid=node_id, tok=token: s._finish_warmup(nid, tok),
+        )
+
+    def _weight_source(self, node_id: str, layer: int):
+        """Pick where one layer is pulled from: a resident peer, else the
+        coordinator (which stands in for the persistent weight store)."""
+        res = self._residency
+        for src in sorted(res.resident):
+            if src == node_id:
+                continue
+            if (
+                src in self._down_nodes
+                or src in self._silent_down
+                or src in self._zombie_nodes
+                or src in self._draining
+            ):
+                continue
+            if layer in res.resident[src]:
+                channel = self.channels.get((src, node_id))
+                if channel is not None:
+                    return src, channel
+        channel = self.channels.get((COORDINATOR, node_id))
+        if channel is None:
+            raise SimulationError(
+                f"no channel to pull weights into {node_id!r}: no resident "
+                "peer link and no coordinator link"
+            )
+        return COORDINATOR, channel
+
+    def _finish_warmup(self, node_id: str, token: int) -> None:
+        """The last weight transfer landed: the node becomes schedulable."""
+        res = self._residency
+        if res is None or not res.still_valid(node_id, token):
+            return  # superseded by a newer pull, a crash, or a replan
+        if node_id in self._down_nodes or node_id in self._silent_down:
+            return
+        res.complete(node_id, self._now)
+        self.scheduler.mark_node_warm(node_id)
+        self._retry_pending()
+
+    def _sync_residency(self) -> None:
+        """Reconcile residency with a just-applied placement.
+
+        Warming pulls for nodes that lost their assignment are abandoned;
+        every (reachable) node the new placement uses warms toward its
+        assigned interval — instantly schedulable when already resident.
+        """
+        res = self._residency
+        placement = self.placement
+        for node_id in sorted(res.warming_nodes):
+            if not placement.holds_layers(node_id):
+                res.cancel(node_id)
+                self.scheduler.mark_node_warm(node_id)
+        for node_id in placement.used_nodes:
+            if (
+                node_id in self._down_nodes
+                or node_id in self._silent_down
+                or node_id in self._zombie_nodes
+                or node_id in self._draining
+            ):
+                continue
+            self._warm_node(node_id)
 
     def degrade_link(
         self, src: str, dst: str, factor: float, bidirectional: bool = True
@@ -1779,9 +2049,14 @@ class Simulation:
         executor and KV pool are replaced — queued and in-flight work there
         would vanish with the old executor). A node that is up, still
         placed, and not re-bound holds the exact interval the pipeline was
-        built against, so no further stage check is needed.
+        built against, so no further stage check is needed. Draining nodes
+        are exempt from every check: the whole point of a graceful drain
+        is that in-flight pipelines through the node run to completion.
         """
+        draining = self._draining
         for stage in pipeline.stages:
+            if stage.node_id in draining:
+                continue
             if stage.node_id in self._down_nodes:
                 return False
             if stage.node_id in rebound:
@@ -1846,6 +2121,11 @@ class Simulation:
         for node_id in old_placement.used_nodes:
             if placement.holds_layers(node_id):
                 continue
+            if node_id in self._draining:
+                # A draining node quiesces when its last in-flight attempt
+                # finishes (_finalize_drain), not here — a hard quiesce now
+                # would drop the very batches the drain promised to finish.
+                continue
             executor = self.executors.get(node_id)
             if executor is not None:
                 executor.epoch += 1
@@ -1859,6 +2139,8 @@ class Simulation:
                 self.channels[key] = LinkChannel(link)
 
         self.scheduler.apply_placement(placement, flow=flow)
+        if self._residency is not None:
+            self._sync_residency()
         self._retry_pending()
         return migrated
 
@@ -1879,6 +2161,23 @@ class Simulation:
     def silent_down_nodes(self) -> set[str]:
         """Nodes physically dead but not yet confirmed by any detector."""
         return set(self._silent_down)
+
+    @property
+    def draining_nodes(self) -> set[str]:
+        """Nodes finishing in-flight work before leaving service."""
+        return set(self._draining)
+
+    @property
+    def residency(self):
+        """The layer-residency ledger, or ``None`` when disabled."""
+        return self._residency
+
+    @property
+    def warming_nodes(self) -> set[str]:
+        """Nodes mid-warm-up (pulling weights, unschedulable)."""
+        if self._residency is None:
+            return set()
+        return self._residency.warming_nodes
 
     @property
     def zombie_nodes(self) -> set[str]:

@@ -24,6 +24,7 @@ from repro.testkit.invariants import (
     SchedulerAuditor,
     Violation,
     check_chaos,
+    check_elastic,
     check_flow_solution,
     check_planner_result,
     check_simulation,
@@ -36,6 +37,7 @@ __all__ = [
     "assert_scenario_ok",
     "check_backend_agreement",
     "check_chaos",
+    "check_elastic",
     "check_flow_solution",
     "check_incremental_compile",
     "check_lns_modes_agree",

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 from repro.bench.runner import make_planner, make_scheduler
 from repro.core.errors import ReproError
+from repro.online.autoscale import Autoscaler
 from repro.online.controller import OnlineController
 from repro.placement.base import PlannerResult
 from repro.scenarios.generator import Scenario, generate_scenario
@@ -29,6 +30,7 @@ from repro.testkit.invariants import (
     SchedulerAuditor,
     Violation,
     check_chaos,
+    check_elastic,
     check_planner_result,
     check_simulation,
 )
@@ -48,7 +50,11 @@ class ScenarioReport:
         planned_throughput: Max-flow value of the placement.
         metrics: Aggregate serving metrics of the run.
         disruption: Detection/recovery telemetry (MTTD, false positives,
-            goodput recovery) — only for detection-mode (chaos) runs.
+            goodput recovery) — for detection-mode (chaos) and elastic
+            runs.
+        elasticity: Residency/drain/autoscaler telemetry — only for
+            elastic runs (warm-up count/seconds/bytes, drains, scaling
+            actions).
         violations: Every invariant/oracle breach found (empty = pass).
         fingerprint: Digest of the run's observable outcome, stable
             across identical replays.
@@ -59,6 +65,7 @@ class ScenarioReport:
     planned_throughput: float = 0.0
     metrics: ServingMetrics | None = None
     disruption: DisruptionReport | None = None
+    elasticity: dict | None = None
     violations: list[Violation] = field(default_factory=list)
     fingerprint: str = ""
 
@@ -76,7 +83,15 @@ class ScenarioReport:
 
 
 def _plan(scenario: Scenario) -> tuple[str, object, PlannerResult]:
-    """Plan the scenario, falling back across heuristic methods."""
+    """Plan the scenario, falling back across heuristic methods.
+
+    Elastic scenarios start with their spare pool out of service, so the
+    initial plan goes on the *available* subcluster — exactly what a real
+    deployment would see before the autoscaler loans anything in.
+    """
+    cluster = scenario.cluster
+    if cluster.down_node_ids:
+        cluster = cluster.subcluster()
     errors: list[str] = []
     tried = [scenario.planner_method] + [
         method for method in _PLANNER_FALLBACKS
@@ -84,7 +99,7 @@ def _plan(scenario: Scenario) -> tuple[str, object, PlannerResult]:
     ]
     for method in tried:
         try:
-            planner = make_planner(method, scenario.cluster, scenario.model)
+            planner = make_planner(method, cluster, scenario.model)
             result = planner.plan()
         except ReproError as exc:
             errors.append(f"{method}: {exc}")
@@ -145,8 +160,11 @@ def run_scenario(scenario: Scenario) -> ScenarioReport:
         planner_result,
         seed=scenario.seed,
     )
-    auditor = SchedulerAuditor(scheduler)
+    elastic = (
+        scenario.residency is not None or scenario.autoscaler is not None
+    )
     controller = None
+    autoscaler = None
     if scenario.detection:
         # Chaos scenarios route churn through the online controller so
         # failures happen *silently* and only the failure detector's
@@ -159,6 +177,19 @@ def run_scenario(scenario: Scenario) -> ScenarioReport:
             replan=False,
             detection_mode=True,
         )
+    elif elastic:
+        # Elastic scenarios need the slow path (replanning folds loaned
+        # spares in), but in the deterministic ``lns_rounds=0`` mode —
+        # wall-clock-budgeted LNS would break fingerprint replay.
+        if scenario.autoscaler is not None:
+            autoscaler = Autoscaler(scenario.autoscaler, scenario.spares)
+        controller = OnlineController(
+            scenario.model,
+            events=scenario.churn,
+            replan=True,
+            replan_lns_rounds=0,
+            autoscaler=autoscaler,
+        )
     sim = Simulation(
         cluster=scenario.cluster,
         model=scenario.model,
@@ -170,7 +201,9 @@ def run_scenario(scenario: Scenario) -> ScenarioReport:
         controller=controller,
         policy=scenario.policy,
         debug_validate=scenario.detection,
+        residency=scenario.residency,
     )
+    auditor = SchedulerAuditor(scheduler, residency=sim.residency)
     if controller is None:
         for event in scenario.churn:
             if event.time <= scenario.max_time:
@@ -182,11 +215,36 @@ def run_scenario(scenario: Scenario) -> ScenarioReport:
     report.metrics = metrics
     if controller is not None:
         report.disruption = controller.report(sim)
+    if elastic:
+        residency = sim.residency
+        report.elasticity = {
+            "warmups": len(residency.warmup_log) if residency else 0,
+            "warmup_seconds_total": (
+                sum(r.duration for r in residency.warmup_log)
+                if residency else 0.0
+            ),
+            "warmup_bytes_total": (
+                sum(r.bytes_pulled for r in residency.warmup_log)
+                if residency else 0
+            ),
+            "evictions": len(residency.eviction_log) if residency else 0,
+            "drains": len(sim.drain_log),
+            "autoscaler_actions": (
+                list(autoscaler.actions) if autoscaler is not None else []
+            ),
+        }
     report.fingerprint = _fingerprint(sim, metrics)
-    report.violations.extend(
-        check_simulation(sim, metrics, planner_result.flow)
-    )
-    if scenario.detection or scenario.policy is not None:
+    sim_violations = check_simulation(sim, metrics, planner_result.flow)
+    if elastic:
+        # Scale-up can add capacity beyond the *initial* plan, so the
+        # goodput-vs-planned bound does not apply to elastic runs.
+        sim_violations = [
+            v for v in sim_violations if v.invariant != "goodput_le_planned"
+        ]
+    report.violations.extend(sim_violations)
+    if elastic:
+        report.violations.extend(check_elastic(sim, metrics))
+    elif scenario.detection or scenario.policy is not None:
         report.violations.extend(check_chaos(sim, metrics))
     report.violations.extend(auditor.violations)
     if auditor.pipelines_audited == 0:

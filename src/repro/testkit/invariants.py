@@ -283,6 +283,55 @@ def check_chaos(sim: Simulation, metrics: ServingMetrics) -> list[Violation]:
 
 
 # ----------------------------------------------------------------------
+# Elasticity / residency invariants
+# ----------------------------------------------------------------------
+def check_elastic(sim: Simulation, metrics: ServingMetrics) -> list[Violation]:
+    """Invariants specific to residency/autoscaler (elastic) runs.
+
+    * everything :func:`check_chaos` guarantees (request conservation,
+      exclusive terminal states);
+    * a graceful drain leaks no KV accounting and loses no tokens
+      (``DrainRecord.kv_leaked == 0`` for every completed drain);
+    * warm-up records are sane: non-negative windows, every pulled layer
+      resident afterwards.
+    """
+    violations = check_chaos(sim, metrics)
+
+    for record in sim.drain_log:
+        if record.kv_leaked != 0:
+            violations.append(Violation(
+                "drain_zero_loss",
+                f"drain of {record.node_id} leaked {record.kv_leaked} KV "
+                "tokens (graceful drain must release everything)",
+            ))
+        if record.completed < record.started:
+            violations.append(Violation(
+                "drain_ordering",
+                f"drain of {record.node_id} completed at {record.completed} "
+                f"before it started at {record.started}",
+            ))
+
+    residency = sim.residency
+    if residency is not None:
+        for record in residency.warmup_log:
+            if record.completed < record.started:
+                violations.append(Violation(
+                    "warmup_ordering",
+                    f"warm-up of {record.node_id} completed at "
+                    f"{record.completed} before it started at "
+                    f"{record.started}",
+                ))
+        for node_id in residency.warming_nodes:
+            if node_id not in sim.scheduler.warming_nodes:
+                violations.append(Violation(
+                    "warming_masked",
+                    f"node {node_id} is warming but not masked from "
+                    "scheduling",
+                ))
+    return violations
+
+
+# ----------------------------------------------------------------------
 # Scheduling-layer invariants (live audit)
 # ----------------------------------------------------------------------
 class SchedulerAuditor:
@@ -290,12 +339,15 @@ class SchedulerAuditor:
 
     Records a violation whenever a freshly-built pipeline routes through a
     node the scheduler itself considers down, or through a node outside
-    the current placement. Install before the run; read ``violations``
-    after.
+    the current placement. With a residency ledger attached, additionally
+    asserts the tentpole invariant: a node never receives a stage whose
+    layers are not resident in its VRAM at schedule time. Install before
+    the run; read ``violations`` after.
     """
 
-    def __init__(self, scheduler: Scheduler) -> None:
+    def __init__(self, scheduler: Scheduler, residency=None) -> None:
         self.scheduler = scheduler
+        self.residency = residency
         self.violations: list[Violation] = []
         self.pipelines_audited = 0
         self._inner = scheduler.schedule
@@ -318,5 +370,14 @@ class SchedulerAuditor:
                     "route_through_unplaced_node",
                     f"request {request_id} scheduled through {stage.node_id} "
                     "which holds no layers in the current placement",
+                ))
+            if self.residency is not None and not self.residency.is_resident(
+                stage.node_id, stage.start, stage.end
+            ):
+                self.violations.append(Violation(
+                    "route_through_nonresident_layers",
+                    f"request {request_id} scheduled layers "
+                    f"[{stage.start}, {stage.end}) on {stage.node_id}, "
+                    "which does not have them resident",
                 ))
         return pipeline

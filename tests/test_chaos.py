@@ -11,6 +11,8 @@ The acceptance criteria of the robustness PR, as tier-1 smoke tests:
   legacy (no-policy) semantics.
 """
 
+import math
+
 import pytest
 
 from repro.core.placement_types import ModelPlacement
@@ -90,6 +92,44 @@ class TestDetection:
         report = controller.report(sim)
         assert report.mttd_mean == pytest.approx(mttd)
         assert report.false_positives == 0
+        # End-to-end repair time: goodput regains its bar only after the
+        # confirmation reacted, so detection always precedes recovery.
+        # (The default 2 s window has no full pre-fault bucket before the
+        # t=2 kill; 1 s buckets resolve the pre-fault goodput.)
+        repair = controller.report(sim, window=1.0)
+        assert math.isfinite(repair.mttr)
+        assert repair.mttd_max <= repair.mttr
+
+    def test_simultaneous_node_failures_are_all_detected(
+        self, small_cluster, tiny_model, placement8
+    ):
+        """Two nodes dying at the same instant each get their own verdict.
+
+        Regression guard for the detector's suspicion bookkeeping: a
+        confirmation must not clear (or mask) the other node's pending
+        suspicion.
+        """
+        requests = steady_trace(60, 0.2)
+        controller = OnlineController(
+            tiny_model,
+            events=[NodeFailure(2.0, "a100-0"), NodeFailure(2.0, "l4-0")],
+            replan=False,
+            detection_mode=True,
+        )
+        sim = make_simulation(
+            small_cluster, tiny_model, placement8, requests,
+            max_time=60.0, seed=0, controller=controller,
+        )
+        metrics = sim.run()
+        assert {row[1] for row in controller.detections} == {"a100-0", "l4-0"}
+        for _, _, _, mttd in controller.detections:
+            assert 0.0 < mttd < 6.0
+        assert controller.detector.false_positives == 0
+        assert sim.down_nodes >= {"a100-0", "l4-0"}
+        # The surviving replica pair ({t4-1} x {t4-0}) carries the trace.
+        assert metrics.requests_finished == 60
+        assert sim.dead_node_token_violations() == []
+        assert_conserved(sim, metrics)
 
     def test_fault_free_control_has_zero_false_positives(
         self, small_cluster, tiny_model, placement8
@@ -410,6 +450,65 @@ class TestGrayFaults:
         flaky.clear_link_flaky("a100-0", "l4-0")
         assert flaky.channels[("a100-0", "l4-0")].fault is None
         assert flaky.channels[("l4-0", "a100-0")].fault is None
+
+    def test_gray_mode_unlatches_when_every_fault_heals(
+        self, small_cluster, tiny_model, placement8
+    ):
+        """Healing the last gray fault re-enables the fast paths.
+
+        Regression guard for the latched ``sim._gray`` flag. A flaky link
+        that appears and fully heals *before any traffic crosses it* must
+        leave a run indistinguishable from one that never saw a fault:
+        exact token times, exact throughput, and the engine back in
+        coalesced/vectorized mode. (Under the old one-way latch the rest
+        of the run stayed in per-hop mode, whose event interleaving — and
+        therefore exact throughput — drifts from the coalesced baseline.)
+        """
+        requests = [
+            Request(f"r{i}", 32, 8, arrival_time=1.0 + i * 0.05)
+            for i in range(20)
+        ]
+        baseline = make_simulation(
+            small_cluster, tiny_model, placement8, list(requests),
+            max_time=60.0, seed=0,
+        )
+        baseline_metrics = baseline.run()
+        assert baseline._gray is False
+
+        healed = make_simulation(
+            small_cluster, tiny_model, placement8, list(requests),
+            max_time=60.0, seed=0,
+        )
+        healed.schedule_event(
+            0.2, lambda s: s.set_link_flaky("a100-0", "l4-0", 0.5, 0.05)
+        )
+        healed.schedule_event(
+            0.5, lambda s: s.clear_link_flaky("a100-0", "l4-0")
+        )
+        healed_metrics = healed.run()
+        assert healed._gray is False  # the latch released
+        assert healed.token_timeline == baseline.token_timeline
+        assert healed_metrics.decode_throughput == (
+            baseline_metrics.decode_throughput
+        )
+        assert healed_metrics.requests_finished == 20
+
+        # A heal in the middle of live traffic also unlatches, and the
+        # run stays conserved even with drops and retransmits behind it.
+        mid = make_simulation(
+            small_cluster, tiny_model, placement8, steady_trace(20, 0.05),
+            max_time=60.0, seed=0,
+        )
+        mid.schedule_event(
+            0.2, lambda s: s.set_link_flaky("a100-0", "l4-0", 0.5, 0.05)
+        )
+        mid.schedule_event(
+            2.0, lambda s: s.clear_link_flaky("a100-0", "l4-0")
+        )
+        mid_metrics = mid.run()
+        assert mid._gray is False
+        assert mid_metrics.requests_finished == 20
+        assert_conserved(mid, mid_metrics)
 
     def test_silent_failure_blackholes_until_confirmed(
         self, small_cluster, tiny_model, placement8
