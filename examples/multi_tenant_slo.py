@@ -1,0 +1,191 @@
+"""Two tenants, one cluster: windowed fairness + SLOs under a flash crowd.
+
+A latency-sensitive "chat" tenant (high priority, tight TTFT target) and
+a throughput-oriented "batch" tenant (BATCH SLO class, low priority)
+share LLaMA-30B on the Fig. 12 cluster. The planner first arbitrates
+cluster throughput across the two tenants (shared base weights counted
+once, per-tenant LoRA adapters on top), then the run demonstrates the
+serving-side machinery:
+
+1. batch submits steady offline work for the whole run;
+2. chat idles along until a *flash crowd* hits at t=12s — arrivals jump
+   to ~4x the cluster's sustainable rate for eight seconds;
+3. the deficit-aware fair queue keeps batch from being starved during
+   the crowd, while a tight admission cap sheds the overflow — evicting
+   queued low-priority (batch) work first — so the chat requests that
+   ARE admitted still meet their TTFT target.
+
+The chat SLO is a custom class calibrated to this hardware: the Fig. 12
+cluster decodes at ~0.6-0.9s per token through its cross-region
+pipelines, so the stock INTERACTIVE class (0.25s TBT) is not achievable
+on it at any load — the SLO a tenant can buy depends on the deployment.
+
+The output shows the planner's per-tenant throughput split, a
+fairness-index timeline (Jain index over the windowed-fairness backlog,
+1.0 = perfectly proportional service), each tenant's SLO attainment,
+and the shed split by priority class.
+
+Runs end to end in well under a minute:
+
+    python examples/multi_tenant_slo.py
+"""
+
+from repro import (
+    AdmissionConfig,
+    BATCH,
+    FairnessConfig,
+    HelixMilpPlanner,
+    HelixScheduler,
+    LLAMA_30B,
+    Profiler,
+    Request,
+    Simulation,
+    SLOClass,
+    TenancyConfig,
+    TenantRegistry,
+    TenantSpec,
+    aggregate_tenant_metrics,
+    small_cluster_fig12,
+)
+
+TRACE_SCALE = 0.25
+CROWD_START = 12.0
+CROWD_END = 20.0
+LAST_ARRIVAL = 40.0
+HORIZON = 60.0
+MIB = 2**20
+
+#: What "interactive" can mean on this hardware (see module docstring).
+CHAT_SLO = SLOClass("chat-rt", ttft_target=6.0, tbt_target=1.2, percentile=0.9)
+
+
+def chat_trace() -> list[Request]:
+    """2 req/s baseline, spiking to ~8 req/s during the flash crowd."""
+    out = []
+    t, i = 0.0, 0
+    while t < LAST_ARRIVAL:
+        out.append(
+            Request(f"chat:{i:04d}", 128, 16, arrival_time=t, tenant_id="chat")
+        )
+        i += 1
+        t += 0.12 if CROWD_START <= t < CROWD_END else 0.5
+    return out
+
+
+def batch_trace() -> list[Request]:
+    """Steady 1 req/s of heavier offline work for the whole run."""
+    return [
+        Request(f"batch:{i:04d}", 256, 48, arrival_time=float(i),
+                tenant_id="batch")
+        for i in range(int(LAST_ARRIVAL))
+    ]
+
+
+def main() -> None:
+    cluster = small_cluster_fig12()
+    model = LLAMA_30B
+    profiler = Profiler(kv_capacity_scale=TRACE_SCALE)
+    print(f"cluster: {cluster.describe()}")
+
+    registry = TenantRegistry([
+        TenantSpec("chat", slo=CHAT_SLO, priority=2, rate_share=1.0,
+                   adapter_bytes_per_layer=50 * MIB),
+        TenantSpec("batch", slo=BATCH, priority=0, rate_share=1.0,
+                   adapter_bytes_per_layer=50 * MIB),
+    ])
+
+    # 1. Plan once, then arbitrate the planned throughput across tenants.
+    planner = HelixMilpPlanner(
+        cluster, model, profiler, time_limit=8.0, mip_rel_gap=0.05
+    )
+    arbitration = planner.plan_tenants(registry, guarantee=0.5, burst=1.5)
+    print(
+        f"planned max flow: {arbitration.total_throughput:.0f} tokens/s "
+        f"(adapters reserve "
+        f"{arbitration.adapter_overhead_bytes / MIB:.0f} MiB/layer on top "
+        f"of the shared base)"
+    )
+    for tenant_id, throughput in sorted(
+        arbitration.per_tenant_throughput.items()
+    ):
+        share = arbitration.shares[tenant_id]
+        print(
+            f"  {tenant_id:5s} entitled {share * 100:.0f}% -> "
+            f"{throughput:.0f} tok/s in the arbitrated split"
+        )
+    result = arbitration.result
+
+    # 2. Serve the flash-crowd trace with fairness + admission on.
+    requests = sorted(
+        chat_trace() + batch_trace(),
+        key=lambda r: (r.arrival_time, r.request_id),
+    )
+    print(
+        f"\ntrace: {sum(r.tenant_id == 'chat' for r in requests)} chat + "
+        f"{sum(r.tenant_id == 'batch' for r in requests)} batch requests; "
+        f"flash crowd t=[{CROWD_START:.0f}s, {CROWD_END:.0f}s)"
+    )
+    scheduler = HelixScheduler(
+        cluster, model, result.placement, profiler, flow=result.flow,
+        expected_output_len=24.0,
+    )
+    tenancy = TenancyConfig(
+        registry,
+        fairness=FairnessConfig(mode="W", window=2.0, backlog_windows=6),
+        # The cap is deliberately tight: at ~3 chat-sized requests/s of
+        # service, every queued request is ~1/3 s of TTFT for whoever is
+        # behind it. Shedding the overflow is what keeps admitted chat
+        # traffic inside its 6s TTFT target during the crowd.
+        admission=AdmissionConfig(max_pending=8),
+    )
+    sim = Simulation(
+        cluster, model, result.placement, scheduler, requests,
+        profiler=profiler, max_batch_tokens=2048, max_time=HORIZON,
+        seed=0, tenancy=tenancy,
+    )
+    metrics = sim.run()
+    manager = sim.tenancy
+    end_time = max(min(sim.now, sim.max_time), sim.warmup + 1e-9)
+
+    # 3. Fairness-index timeline: watch the crowd arrive and fairness hold.
+    print("\nfairness index (Jain over the windowed backlog, 1.0 = fair):")
+    for when, index in manager.tracker.fairness_timeline(end_time):
+        bar = "#" * int(40 * index)
+        marker = " <- flash crowd" if CROWD_START <= when < CROWD_END + 2 else ""
+        print(f"  {when:5.0f}s {index:5.2f} {bar}{marker}")
+
+    # 4. Per-tenant SLO attainment and the admission-control shed split.
+    per_tenant = aggregate_tenant_metrics(
+        sim.records, warmup=sim.warmup, end_time=end_time,
+        slo_targets={
+            spec.tenant_id: (
+                spec.slo.ttft_target, spec.slo.tbt_target, spec.slo.percentile
+            )
+            for spec in registry
+        },
+    )
+    print("\nper-tenant SLO attainment:")
+    for tenant_id in sorted(per_tenant):
+        print(f"  {per_tenant[tenant_id].summary()}")
+
+    shed = dict(metrics.requests_shed_by_priority)
+    print(
+        f"\nadmission control: {metrics.requests_shed} shed "
+        f"(by priority class: {shed or 'none'})"
+    )
+    for tenant_id in sorted(per_tenant):
+        tm = per_tenant[tenant_id]
+        rate = tm.requests_shed / tm.requests_submitted
+        print(
+            f"  {tenant_id:5s} shed {tm.requests_shed}/"
+            f"{tm.requests_submitted} submitted ({rate * 100:.0f}%)"
+        )
+    print(
+        f"starvation events: {len(manager.starvation_events)} "
+        f"(deficit selector; a priority-only selector would starve batch)"
+    )
+    print(f"serving: {metrics.summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -62,6 +62,7 @@ from repro.flow import FlowNetwork, FlowGraph, FlowSolution
 from repro.placement import (
     PlannerResult,
     HelixMilpPlanner,
+    TenantArbitration,
     SwarmPlanner,
     PetalsPlanner,
     SeparatePipelinesPlanner,
@@ -80,7 +81,22 @@ from repro.sim import (
     Request,
     ServingMetrics,
     DisruptionReport,
+    TenantMetrics,
+    aggregate_tenant_metrics,
     goodput_timeline,
+)
+from repro.tenancy import (
+    AdmissionConfig,
+    BATCH,
+    FairnessConfig,
+    INTERACTIVE,
+    SLOClass,
+    STANDARD,
+    TenancyConfig,
+    TenantManager,
+    TenantRegistry,
+    TenantSpec,
+    jain_index,
 )
 from repro.online import (
     NodeFailure,

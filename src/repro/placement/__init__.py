@@ -20,7 +20,11 @@ The baselines the evaluation compares against are implemented alongside:
 from repro.core.placement_types import ModelPlacement, StageAssignment
 from repro.placement.base import PlannerResult, PlacementPlanner
 from repro.placement.pruning import prune_cluster
-from repro.placement.helix_milp import HelixMilpPlanner, MilpFormulation
+from repro.placement.helix_milp import (
+    HelixMilpPlanner,
+    MilpFormulation,
+    TenantArbitration,
+)
 from repro.placement.swarm import SwarmPlanner
 from repro.placement.petals import PetalsPlanner
 from repro.placement.separate import SeparatePipelinesPlanner
@@ -33,6 +37,7 @@ __all__ = [
     "prune_cluster",
     "HelixMilpPlanner",
     "MilpFormulation",
+    "TenantArbitration",
     "SwarmPlanner",
     "PetalsPlanner",
     "SeparatePipelinesPlanner",

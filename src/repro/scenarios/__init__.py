@@ -12,6 +12,7 @@ from repro.scenarios.generator import (
     FULL,
     SCENARIO_FAMILIES,
     SMOKE,
+    TENANT_FAMILY,
     Scenario,
     ScenarioLimits,
     generate_scenario,
@@ -26,6 +27,7 @@ __all__ = [
     "FULL",
     "SCENARIO_FAMILIES",
     "SMOKE",
+    "TENANT_FAMILY",
     "Scenario",
     "ScenarioLimits",
     "WORKLOAD_KINDS",

@@ -24,7 +24,7 @@ scenarios.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.gpus import A100_40G, GPUSpec, L4, T4, V100
@@ -52,6 +52,15 @@ from repro.scenarios.workloads import WORKLOAD_KINDS, make_workload
 from repro.sim.policy import RequestPolicy
 from repro.sim.request import Request
 from repro.sim.residency import ResidencyConfig
+from repro.tenancy.fairness import FairnessConfig
+from repro.tenancy.manager import AdmissionConfig, TenancyConfig
+from repro.tenancy.registry import (
+    BATCH,
+    INTERACTIVE,
+    STANDARD,
+    TenantRegistry,
+    TenantSpec,
+)
 
 #: The topology archetypes the generator can draw.
 SCENARIO_FAMILIES = ("full_mesh", "geo_regions", "star", "sparse_partitioned")
@@ -71,8 +80,15 @@ CHAOS_FAMILY = "chaos"
 #: fingerprints reproduce bit-for-bit.
 ELASTIC_FAMILY = "elastic"
 
-#: Every generatable family, chaos and elastic included.
-ALL_FAMILIES = SCENARIO_FAMILIES + (CHAOS_FAMILY, ELASTIC_FAMILY)
+#: The tenant family: a drawn base topology serving 2-4 tenants with
+#: skewed demand mixes, SLO classes, priorities, and windowed fairness
+#: (sometimes with admission control). No churn and no lifecycle policy,
+#: so per-tenant KV accounting is exact and the fairness invariants have
+#: no confounders. Kept out of ``SCENARIO_FAMILIES`` like chaos/elastic.
+TENANT_FAMILY = "tenant"
+
+#: Every generatable family — chaos, elastic, and tenant included.
+ALL_FAMILIES = SCENARIO_FAMILIES + (CHAOS_FAMILY, ELASTIC_FAMILY, TENANT_FAMILY)
 
 #: Families dense enough that topology-blind heuristic placements always
 #: carry flow, and may therefore draw a VRAM-bound multi-stage model.
@@ -160,6 +176,9 @@ class Scenario:
         autoscaler: Backlog-driven autoscaler config (``None`` = none).
         spares: Node ids that start out of service as the autoscaler's
             spare pool.
+        tenancy: Multi-tenant config (``None`` = single-tenant legacy
+            engine — tenant scenarios carry a registry, fairness, and
+            sometimes admission control).
     """
 
     family: str
@@ -178,6 +197,7 @@ class Scenario:
     residency: ResidencyConfig | None = None
     autoscaler: AutoscalerConfig | None = None
     spares: tuple[str, ...] = ()
+    tenancy: TenancyConfig | None = None
 
     def repro_command(self) -> str:
         """The one-line command that replays this exact scenario."""
@@ -196,6 +216,13 @@ class Scenario:
             extras += ", residency on"
         if self.autoscaler is not None:
             extras += f", autoscaler ({len(self.spares)} spare(s))"
+        if self.tenancy is not None:
+            fairness = self.tenancy.fairness
+            extras += (
+                f", {len(self.tenancy.registry)} tenants "
+                f"({fairness.mode}-fairness"
+                f"{', admission' if self.tenancy.admission else ''})"
+            )
         return (
             f"scenario {self.family}/{self.seed} ({self.size}): "
             f"{self.cluster.describe()}, {self.model.name}, "
@@ -588,6 +615,84 @@ def _draw_elastic_churn(
     return sorted(events, key=lambda e: e.time)
 
 
+#: SLO classes a drawn tenant may carry.
+_TENANT_SLO_POOL = (INTERACTIVE, STANDARD, BATCH)
+
+
+def _draw_tenancy(rng: random.Random) -> TenancyConfig:
+    """A seeded 2-4 tenant registry with skewed shares plus fairness knobs.
+
+    Shares follow a geometric skew (each next tenant entitled to roughly
+    half the previous one, jittered), so most draws have one dominant
+    tenant and a tail — the regime where fairness accounting actually has
+    work to do. Half the draws add admission control.
+    """
+    count = rng.randint(2, 4)
+    tenants = []
+    for index in range(count):
+        tenants.append(
+            TenantSpec(
+                tenant_id=f"tenant-{index}",
+                slo=rng.choice(_TENANT_SLO_POOL),
+                priority=rng.randint(0, 2),
+                rate_share=rng.uniform(1.0, 2.0) * 0.5 ** index,
+            )
+        )
+    fairness = FairnessConfig(
+        mode=rng.choice(("W", "T")),
+        window=rng.uniform(1.5, 3.0),
+        backlog_windows=rng.randint(3, 5),
+        slo_weight=rng.uniform(0.2, 0.8),
+        selector="deficit",
+    )
+    admission = (
+        AdmissionConfig(max_pending=rng.randint(15, 40))
+        if rng.random() < 0.5
+        else None
+    )
+    return TenancyConfig(
+        registry=TenantRegistry(tenants),
+        fairness=fairness,
+        admission=admission,
+    )
+
+
+def _tenant_requests(
+    rng: random.Random,
+    tenancy: TenancyConfig,
+    limits: ScenarioLimits,
+) -> tuple[list[Request], str]:
+    """Per-tenant workload streams merged into one arrival-sorted trace.
+
+    Request counts split proportionally to each tenant's rate share
+    (minimum 3 so every tenant exists in the trace); each tenant draws
+    its own workload flavor and its requests are retagged
+    ``<tenant>:<id>`` for global uniqueness. Returns the merged trace
+    plus a describing workload label (the dominant tenant's flavor).
+    """
+    total = rng.randint(limits.min_requests, limits.max_requests)
+    shares = tenancy.registry.shares()
+    merged: list[Request] = []
+    dominant = ("", 0.0)
+    for tenant_id in tenancy.registry.ids:
+        count = max(3, round(total * shares[tenant_id]))
+        kind = rng.choice(WORKLOAD_KINDS)
+        if shares[tenant_id] > dominant[1]:
+            dominant = (kind, shares[tenant_id])
+        for request in make_workload(
+            rng, kind, count, horizon=limits.max_time * 0.5
+        ):
+            merged.append(
+                replace(
+                    request,
+                    request_id=f"{tenant_id}:{request.request_id}",
+                    tenant_id=tenant_id,
+                )
+            )
+    merged.sort(key=lambda r: (r.arrival_time, r.request_id))
+    return merged, dominant[0]
+
+
 def _draw_policy(rng: random.Random, limits: ScenarioLimits) -> RequestPolicy:
     """A request-lifecycle policy sized to the scenario horizon."""
     horizon = limits.max_time
@@ -718,6 +823,32 @@ def generate_scenario(
                 start_after=rng.uniform(1.0, 3.0),
             ),
             spares=spares,
+        )
+
+    if family == TENANT_FAMILY:
+        # Tenant rides a drawn base topology with the small model and NO
+        # churn or request policy: every request eventually finishes, so
+        # per-tenant KV accounting can be checked exactly against pool
+        # totals without churn-induced cancellation noise.
+        base_family = rng.choice(SCENARIO_FAMILIES)
+        count = rng.randint(limits.min_nodes, limits.max_nodes)
+        cluster = _BUILDERS[base_family](rng, count)
+        cluster.validate()
+        model = _small_model(rng)
+        tenancy = _draw_tenancy(rng)
+        requests, workload = _tenant_requests(rng, tenancy, limits)
+        return Scenario(
+            family=family,
+            seed=seed,
+            size=size,
+            cluster=cluster,
+            model=model,
+            requests=requests,
+            workload=workload,
+            planner_method=rng.choice(_PLANNER_METHODS),
+            scheduler_method=rng.choice(_SCHEDULER_METHODS),
+            max_time=limits.max_time,
+            tenancy=tenancy,
         )
 
     count = rng.randint(limits.min_nodes, limits.max_nodes)

@@ -190,14 +190,20 @@ class Scheduler(abc.ABC):
             return True
         return self.kv.admits(node_id, input_len)
 
-    def admit(self, request_id: str, input_len: int, queued: int) -> bool:
+    def admit(
+        self, request_id: str, input_len: int, queued: int, priority: int = 0
+    ) -> bool:
         """Whether a freshly-arrived, unschedulable request may queue.
 
         Called by the simulator when :meth:`schedule` returned ``None`` at
         arrival time; returning ``False`` sheds the request (it counts as
-        *shed*, never enters the pending queue, and is never retried).
-        The base policy is a pure queue-depth bound; subclasses may weigh
-        ``input_len`` or request class.
+        *shed* under its ``priority`` class, never enters the pending
+        queue, and is never retried). The base policy is a pure
+        queue-depth bound; ``priority`` is the request's admission class
+        (higher = more important) so subclasses — and the simulator's
+        tenancy layer, which may evict a lower-priority queued request
+        instead of shedding the arrival — can shed lowest-priority
+        traffic first. The base policy ignores it.
         """
         limit = self.admission_limit
         return limit is None or queued < limit

@@ -23,7 +23,9 @@ from repro.sim.metrics import (
     ServingMetrics,
     LatencyStats,
     DisruptionReport,
+    TenantMetrics,
     TokenTimeline,
+    aggregate_tenant_metrics,
     disruption_report,
     goodput_timeline,
 )
@@ -52,7 +54,9 @@ __all__ = [
     "ServingMetrics",
     "LatencyStats",
     "DisruptionReport",
+    "TenantMetrics",
     "TokenTimeline",
+    "aggregate_tenant_metrics",
     "disruption_report",
     "goodput_timeline",
     "Simulation",

@@ -42,6 +42,10 @@ class RequestRecord:
     shed: bool = False
     #: Abandoned after exhausting its retry budget or missing its deadline.
     lost: bool = False
+    #: Owning tenant ("" in the single-tenant legacy configuration).
+    tenant_id: str = ""
+    #: Admission priority class the request was admitted (or shed) under.
+    priority: int = 0
 
     @property
     def finished(self) -> bool:
@@ -127,6 +131,10 @@ class ServingMetrics:
             shedding) before ever holding a pipeline.
         requests_lost: Requests abandoned after exhausting their retry
             budget or missing their deadline.
+        requests_shed_by_priority: ``(priority, count)`` rows splitting
+            ``requests_shed`` per admission priority class, sorted by
+            priority (attributable shed-rate accounting; empty when
+            nothing was shed).
     """
 
     decode_throughput: float
@@ -143,6 +151,7 @@ class ServingMetrics:
     tokens_lost: int = 0
     requests_shed: int = 0
     requests_lost: int = 0
+    requests_shed_by_priority: tuple[tuple[int, int], ...] = ()
 
     def summary(self) -> str:
         """One-line report string."""
@@ -179,6 +188,12 @@ def aggregate_metrics(
                 decode_tokens += 1
     finished = [r for r in records if r.finished and r.finish_time >= warmup]
     duration = end_time - warmup
+    shed_by_priority: dict[int, int] = {}
+    for record in records:
+        if record.shed:
+            shed_by_priority[record.priority] = (
+                shed_by_priority.get(record.priority, 0) + 1
+            )
     return ServingMetrics(
         decode_throughput=decode_tokens / duration,
         prompt_latency=LatencyStats.from_samples(
@@ -200,7 +215,113 @@ def aggregate_metrics(
         tokens_lost=sum(r.tokens_lost for r in records),
         requests_shed=sum(1 for r in records if r.shed),
         requests_lost=sum(1 for r in records if r.lost),
+        requests_shed_by_priority=tuple(sorted(shed_by_priority.items())),
     )
+
+
+# ----------------------------------------------------------------------
+# Per-tenant metrics (multi-tenant serving)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TenantMetrics:
+    """One tenant's slice of a serving run.
+
+    SLO attainment is the fraction of the tenant's finished requests
+    whose latency met the target: ``ttft_attainment`` against the
+    time-to-first-token target (prompt latency), ``tbt_attainment``
+    against the time-between-tokens target (mean decode interval; a
+    single-token request has no intervals and counts as attained). The
+    tenant's SLO is *met* when both attainments reach the class
+    percentile.
+    """
+
+    tenant_id: str
+    requests_submitted: int
+    requests_finished: int
+    requests_shed: int
+    requests_lost: int
+    decode_tokens: int
+    goodput: float
+    ttft_attainment: float
+    tbt_attainment: float
+    slo_percentile: float
+    slo_met: bool
+
+    def summary(self) -> str:
+        """One-line report string."""
+        return (
+            f"[{self.tenant_id}] {self.goodput:.1f} tok/s | "
+            f"ttft {self.ttft_attainment * 100:.0f}% / "
+            f"tbt {self.tbt_attainment * 100:.0f}% "
+            f"(target p{self.slo_percentile * 100:.0f}: "
+            f"{'met' if self.slo_met else 'MISSED'}) | "
+            f"{self.requests_finished}/{self.requests_submitted} finished, "
+            f"{self.requests_shed} shed"
+        )
+
+
+def aggregate_tenant_metrics(
+    records: list[RequestRecord],
+    warmup: float,
+    end_time: float,
+    slo_targets: dict[str, tuple[float, float, float]],
+) -> dict[str, "TenantMetrics"]:
+    """Per-tenant :class:`TenantMetrics` from request records.
+
+    ``slo_targets`` maps tenant id to ``(ttft_target, tbt_target,
+    percentile)`` — duck-typed so this module does not depend on
+    :mod:`repro.tenancy`. Tenants with registered targets but no
+    records still get a (vacuously attained) row.
+    """
+    duration = end_time - warmup
+    if duration <= 0:
+        raise ValueError(
+            f"measurement window is empty: warmup={warmup}, end={end_time}"
+        )
+    by_tenant: dict[str, list[RequestRecord]] = {
+        tid: [] for tid in slo_targets
+    }
+    for record in records:
+        by_tenant.setdefault(record.tenant_id, []).append(record)
+
+    out: dict[str, TenantMetrics] = {}
+    for tenant_id in sorted(by_tenant):
+        rows = by_tenant[tenant_id]
+        ttft_target, tbt_target, percentile = slo_targets.get(
+            tenant_id, (math.inf, math.inf, 0.95)
+        )
+        decode_tokens = 0
+        for record in rows:
+            for token_time in record.token_times[1:]:
+                if warmup <= token_time <= end_time:
+                    decode_tokens += 1
+        finished = [r for r in rows if r.finished]
+        ttft_ok = sum(
+            1 for r in finished if r.prompt_latency <= ttft_target
+        )
+        tbt_ok = sum(
+            1
+            for r in finished
+            if math.isnan(r.decode_latency) or r.decode_latency <= tbt_target
+        )
+        ttft_attainment = ttft_ok / len(finished) if finished else 1.0
+        tbt_attainment = tbt_ok / len(finished) if finished else 1.0
+        out[tenant_id] = TenantMetrics(
+            tenant_id=tenant_id,
+            requests_submitted=len(rows),
+            requests_finished=len(finished),
+            requests_shed=sum(1 for r in rows if r.shed),
+            requests_lost=sum(1 for r in rows if r.lost),
+            decode_tokens=decode_tokens,
+            goodput=decode_tokens / duration,
+            ttft_attainment=ttft_attainment,
+            tbt_attainment=tbt_attainment,
+            slo_percentile=percentile,
+            slo_met=(
+                ttft_attainment >= percentile and tbt_attainment >= percentile
+            ),
+        )
+    return out
 
 
 # ----------------------------------------------------------------------

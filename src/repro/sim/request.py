@@ -16,12 +16,15 @@ class Request:
             serving system does not know it in advance).
         arrival_time: Seconds since simulation start when the request
             reaches the coordinator.
+        tenant_id: Owning tenant under multi-tenant serving; empty string
+            (the default) means the single-tenant legacy configuration.
     """
 
     request_id: str
     input_len: int
     output_len: int
     arrival_time: float = 0.0
+    tenant_id: str = ""
 
     def __post_init__(self) -> None:
         if self.input_len < 1:

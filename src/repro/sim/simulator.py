@@ -256,6 +256,14 @@ class Simulation:
             activations), and it only becomes schedulable when they land.
             ``None`` (the default) keeps the legacy instant-recovery
             semantics bit-identically.
+        tenancy: Optional :class:`~repro.tenancy.manager.TenancyConfig`.
+            When set, requests are tagged and accounted per tenant, the
+            pending queue becomes per-tenant lanes drained by the
+            windowed-fairness selector, and admission control sheds
+            lowest-priority traffic first (optionally evicting a
+            lower-priority queued request to admit a higher-priority
+            arrival). ``None`` (the default) keeps the single-tenant
+            legacy semantics bit-identically.
     """
 
     def __init__(
@@ -276,6 +284,7 @@ class Simulation:
         policy=None,
         debug_validate: bool = False,
         residency=None,
+        tenancy=None,
     ) -> None:
         if not requests:
             raise SimulationError("request trace is empty")
@@ -352,6 +361,19 @@ class Simulation:
             self._residency = ResidencyManager(residency, model, placement)
         else:
             self._residency = None
+        # Multi-tenancy (None on the default path: the plain deque pending
+        # queue and zero per-token work keep the engine bit-identical to
+        # the single-tenant simulator).
+        if tenancy is not None:
+            from repro.tenancy.manager import FairPendingQueue, TenantManager
+
+            self._tenancy = TenantManager(tenancy)
+            self._pending = FairPendingQueue(self._tenancy, lambda: self._now)
+            admission = tenancy.admission
+            if admission is not None:
+                scheduler.admission_limit = admission.max_pending
+        else:
+            self._tenancy = None
         # Graceful drain: nodes finishing their in-flight work before
         # leaving service (independent of residency; always available).
         self._draining: set[str] = set()
@@ -483,6 +505,8 @@ class Simulation:
 
         end_time = min(self._now, self.max_time)
         end_time = max(end_time, self.warmup + 1e-9)
+        if self._tenancy is not None:
+            self._tenancy.finalize(end_time)
         return aggregate_metrics(
             records=list(self._records.values()),
             warmup=self.warmup,
@@ -502,7 +526,11 @@ class Simulation:
             input_len=request.input_len,
             output_len=request.output_len,
             arrival_time=request.arrival_time,
+            tenant_id=request.tenant_id,
         )
+        tenancy = self._tenancy
+        if tenancy is not None:
+            record.priority = tenancy.priority_of(request.tenant_id)
         self._records[request.request_id] = record
         policy = self._policy
         if policy is not None and policy.deadline is not None:
@@ -512,13 +540,43 @@ class Simulation:
                 lambda s, rid=rid: s._deadline_check(rid),
             )
         if not self._try_schedule(request):
-            if policy is not None and not self.scheduler.admit(
-                request.request_id, request.input_len, len(self._pending)
+            has_admission = (
+                tenancy is not None and tenancy.config.admission is not None
+            )
+            if (has_admission or policy is not None) and not self.scheduler.admit(
+                request.request_id,
+                request.input_len,
+                len(self._pending),
+                priority=record.priority,
             ):
-                record.shed = True
-                self._requests_shed += 1
-                return
+                if not (has_admission and self._admit_by_eviction(record)):
+                    record.shed = True
+                    self._requests_shed += 1
+                    return
             self._pending.append(request)
+
+    def _admit_by_eviction(self, record: RequestRecord) -> bool:
+        """Make room for a higher-priority arrival at a full queue.
+
+        Sheds the newest queued request of the lowest-priority backlogged
+        tenant — but only when it is *strictly* lower priority than the
+        arrival, so overload still sheds lowest-priority traffic first
+        rather than churning within a class. Returns True when a slot was
+        freed for the arrival.
+        """
+        admission = self._tenancy.config.admission
+        if not admission.evict_lower_priority:
+            return False
+        victim = self._pending.lowest_priority_queued()
+        if victim is None:
+            return False
+        victim_record = self._records[victim.request_id]
+        if victim_record.priority >= record.priority:
+            return False
+        self._pending.remove(victim)
+        victim_record.shed = True
+        self._requests_shed += 1
+        return True
 
     def _try_schedule(self, request: Request) -> bool:
         pipeline = self.scheduler.schedule(request.request_id, request.input_len)
@@ -532,6 +590,10 @@ class Simulation:
         )
         self._build_hops(active)
         self._active[request.request_id] = active
+        if self._tenancy is not None:
+            self._tenancy.note_dispatch(
+                active.sched_id, request.tenant_id, self._now
+            )
         self._start_prompt(active)
         policy = self._policy
         if policy is not None:
@@ -1052,6 +1114,7 @@ class Simulation:
         gray = self._gray
         coalesce = self._coalesce and not gray
         scratch = self._scratch
+        tenancy = self._tenancy
         token_bytes = self._token_bytes
         timeline = self._timeline
         tl_counts = timeline._counts
@@ -1102,8 +1165,14 @@ class Simulation:
                             self._cancel_attempt(peer)
                         disrupted = True
                     record.first_token_time = t
+                    if tenancy is not None:
+                        tenancy.note_first_token(
+                            owner.request.tenant_id, t - record.arrival_time
+                        )
                 token_times.append(t)
                 record.tokens_generated += 1
+                if tenancy is not None:
+                    tenancy.note_token(owner.request.tenant_id, t)
                 self._last_token_time = t
                 bucket = int(t * tl_inv)
                 if bucket < len(tl_counts):
@@ -1235,6 +1304,8 @@ class Simulation:
         t = self._now
         produced = 0
         stopped = False
+        tenancy = self._tenancy
+        tenant_id = owner.request.tenant_id
         while True:
             # Coordinator ships the token id back to the first stage.
             nf = entry.next_free_time
@@ -1348,6 +1419,8 @@ class Simulation:
             self._now = t
             token_times.append(t)
             record.tokens_generated += 1
+            if tenancy is not None:
+                tenancy.note_token(tenant_id, t)
             self._last_token_time = t
             timeline.add(t)
             produced += 1
@@ -1369,6 +1442,8 @@ class Simulation:
             hop.pool.free(active.kv_allocated(index))
         active.live = False
         del self._active[active.sched_id]
+        if self._tenancy is not None:
+            self._tenancy.note_release(active.sched_id, self._now)
         self.scheduler.notify_finished(active.sched_id)
         if self._draining:
             self._check_drains()
@@ -1394,6 +1469,8 @@ class Simulation:
         active.live = False
         self._disrupted = True
         del self._active[active.sched_id]
+        if self._tenancy is not None:
+            self._tenancy.note_release(active.sched_id, self._now)
         self.scheduler.notify_failed(active.sched_id)
         if self._draining:
             self._check_drains()
@@ -1461,6 +1538,10 @@ class Simulation:
         hedge.hedge = active
         active.hedge = hedge
         self._active[hedge_id] = hedge
+        if self._tenancy is not None:
+            self._tenancy.note_dispatch(
+                hedge_id, active.request.tenant_id, self._now
+            )
         self._start_prompt(hedge)
 
     def _requeue(self, active: _ActiveRequest, migrated: bool) -> None:
@@ -1505,6 +1586,8 @@ class Simulation:
         active.live = False
         self._disrupted = True
         del self._active[active.sched_id]
+        if self._tenancy is not None:
+            self._tenancy.note_release(active.sched_id, self._now)
         self.scheduler.notify_failed(active.sched_id)
         if self._draining:
             self._check_drains()
@@ -2266,6 +2349,32 @@ class Simulation:
     def records(self) -> list[RequestRecord]:
         """Records of every request that has arrived so far."""
         return list(self._records.values())
+
+    @property
+    def tenancy(self):
+        """The run's :class:`~repro.tenancy.manager.TenantManager`
+        (``None`` in the single-tenant default configuration)."""
+        return self._tenancy
+
+    def kv_usage_by_tenant(self) -> dict[str, dict[str, int]]:
+        """KV tokens currently allocated, as ``node_id -> tenant -> tokens``.
+
+        Derived from the per-attempt ``kv_allocated`` counters of every
+        in-flight attempt, so by construction each node's per-tenant sum
+        equals what those attempts charged to its pool — the tenancy
+        invariant compares this against ``pool.used_tokens`` live.
+        """
+        usage: dict[str, dict[str, int]] = {}
+        for active in self._active.values():
+            tenant_id = active.request.tenant_id
+            for index, hop in enumerate(active.hops):
+                allocated = active.kv_allocated(index)
+                if allocated:
+                    per_node = usage.setdefault(hop.node_id, {})
+                    per_node[tenant_id] = (
+                        per_node.get(tenant_id, 0) + allocated
+                    )
+        return usage
 
     def record_of(self, request_id: str) -> RequestRecord:
         """Per-request record (available after the run)."""

@@ -1,0 +1,164 @@
+"""Tenant registry: who shares the cluster, and on what terms.
+
+A *tenant* is one customer of the serving deployment: a stream of
+requests tagged with its ``tenant_id``, an :class:`SLOClass` describing
+the latency it pays for (TTFT/TBT percentile targets), a ``priority``
+used by admission control (lowest priority is shed first under
+overload), a ``rate_share`` entitling it to a fraction of cluster
+service under the windowed fairness policy, and an optional per-layer
+VRAM adapter footprint the planner must provision on top of the shared
+base model (LoRA-style: the trunk's layers are counted once, each
+tenant only adds its deltas).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class SLOClass:
+    """A latency service-level objective.
+
+    Attributes:
+        name: Human-readable class name (``interactive``, ``batch``, ...).
+        ttft_target: Time-to-first-token target in seconds.
+        tbt_target: Time-between-tokens target in seconds (per-request
+            mean decode interval).
+        percentile: Fraction of finished requests that must meet each
+            target for the SLO to count as attained (e.g. ``0.95``).
+    """
+
+    name: str
+    ttft_target: float
+    tbt_target: float
+    percentile: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.ttft_target <= 0 or self.tbt_target <= 0:
+            raise ValueError(
+                f"SLO targets must be positive: ttft={self.ttft_target}, "
+                f"tbt={self.tbt_target}"
+            )
+        if not 0.0 < self.percentile <= 1.0:
+            raise ValueError(
+                f"percentile must be in (0, 1], got {self.percentile}"
+            )
+
+
+#: Latency-sensitive chat traffic: tight first token, tight streaming.
+INTERACTIVE = SLOClass("interactive", ttft_target=2.0, tbt_target=0.25)
+#: Default API traffic.
+STANDARD = SLOClass("standard", ttft_target=8.0, tbt_target=0.75)
+#: Throughput-oriented batch/offline traffic: latency barely matters.
+BATCH = SLOClass("batch", ttft_target=30.0, tbt_target=3.0, percentile=0.5)
+
+#: The built-in SLO classes, by name.
+SLO_CLASSES = {slo.name: slo for slo in (INTERACTIVE, STANDARD, BATCH)}
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's contract with the deployment.
+
+    Attributes:
+        tenant_id: Unique identifier; requests carry it in
+            :attr:`~repro.sim.request.Request.tenant_id`.
+        slo: The latency class this tenant pays for.
+        priority: Admission-control rank. Under overload the *lowest*
+            priority traffic is shed first; higher-priority arrivals may
+            evict a lower-priority queued request.
+        rate_share: Relative service entitlement under windowed fairness
+            (normalized across the registry; any positive scale works).
+        adapter_bytes_per_layer: Per-layer VRAM this tenant adds on top
+            of the shared base model (fine-tuned adapter deltas). The
+            planner provisions the base layers once plus the sum of all
+            tenants' adapters — not one full copy per tenant.
+    """
+
+    tenant_id: str
+    slo: SLOClass = STANDARD
+    priority: int = 0
+    rate_share: float = 1.0
+    adapter_bytes_per_layer: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.tenant_id:
+            raise ValueError("tenant_id must be non-empty")
+        if self.rate_share <= 0:
+            raise ValueError(
+                f"rate_share must be positive, got {self.rate_share}"
+            )
+        if self.adapter_bytes_per_layer < 0:
+            raise ValueError(
+                "adapter_bytes_per_layer must be >= 0, got "
+                f"{self.adapter_bytes_per_layer}"
+            )
+
+
+class TenantRegistry:
+    """The deployment's tenant table: id -> :class:`TenantSpec`.
+
+    Iteration order is sorted by ``tenant_id`` so every consumer
+    (fairness selector, planner, metrics) sees tenants in one
+    deterministic order regardless of construction order.
+    """
+
+    def __init__(self, tenants: list[TenantSpec] | tuple[TenantSpec, ...]):
+        if not tenants:
+            raise ValueError("a tenant registry needs at least one tenant")
+        specs = sorted(tenants, key=lambda spec: spec.tenant_id)
+        seen: set[str] = set()
+        for spec in specs:
+            if spec.tenant_id in seen:
+                raise ValueError(f"duplicate tenant_id {spec.tenant_id!r}")
+            seen.add(spec.tenant_id)
+        self._specs: dict[str, TenantSpec] = {
+            spec.tenant_id: spec for spec in specs
+        }
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self) -> Iterator[TenantSpec]:
+        return iter(self._specs.values())
+
+    def __contains__(self, tenant_id: str) -> bool:
+        return tenant_id in self._specs
+
+    @property
+    def ids(self) -> tuple[str, ...]:
+        """Tenant ids in the registry's deterministic (sorted) order."""
+        return tuple(self._specs)
+
+    def get(self, tenant_id: str) -> TenantSpec:
+        """The spec for ``tenant_id`` (KeyError with context if unknown)."""
+        try:
+            return self._specs[tenant_id]
+        except KeyError:
+            raise KeyError(
+                f"unknown tenant {tenant_id!r}; registered: {self.ids}"
+            ) from None
+
+    def shares(self) -> dict[str, float]:
+        """Normalized rate shares (sum to 1.0)."""
+        total = sum(spec.rate_share for spec in self)
+        return {
+            spec.tenant_id: spec.rate_share / total for spec in self
+        }
+
+    def priorities(self) -> dict[str, int]:
+        """Tenant id -> admission priority."""
+        return {spec.tenant_id: spec.priority for spec in self}
+
+    def adapter_overhead_bytes(self) -> float:
+        """Summed per-layer adapter VRAM across every tenant.
+
+        This is what riding on one shared base costs per layer *beyond*
+        the base weights — the planner adds it to the base's
+        ``layer_bytes`` once, instead of provisioning a full model copy
+        per tenant.
+        """
+        return sum(spec.adapter_bytes_per_layer for spec in self)

@@ -22,17 +22,20 @@ from repro.testkit.harness import (
 )
 from repro.testkit.invariants import (
     SchedulerAuditor,
+    TenantKVSampler,
     Violation,
     check_chaos,
     check_elastic,
     check_flow_solution,
     check_planner_result,
     check_simulation,
+    check_tenancy,
 )
 
 __all__ = [
     "ScenarioReport",
     "SchedulerAuditor",
+    "TenantKVSampler",
     "Violation",
     "assert_scenario_ok",
     "check_backend_agreement",
@@ -45,6 +48,7 @@ __all__ = [
     "check_planner_result",
     "check_reevaluate_vs_rebuild",
     "check_simulation",
+    "check_tenancy",
     "random_placements",
     "run_scenario",
     "verify_scenario",

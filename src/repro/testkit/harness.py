@@ -23,16 +23,22 @@ from repro.online.autoscale import Autoscaler
 from repro.online.controller import OnlineController
 from repro.placement.base import PlannerResult
 from repro.scenarios.generator import Scenario, generate_scenario
-from repro.sim.metrics import DisruptionReport, ServingMetrics
+from repro.sim.metrics import (
+    DisruptionReport,
+    ServingMetrics,
+    aggregate_tenant_metrics,
+)
 from repro.sim.simulator import Simulation
 from repro.testkit.differential import check_reevaluate_vs_rebuild
 from repro.testkit.invariants import (
     SchedulerAuditor,
+    TenantKVSampler,
     Violation,
     check_chaos,
     check_elastic,
     check_planner_result,
     check_simulation,
+    check_tenancy,
 )
 
 #: Planner fallback order when a scenario's suggested method cannot serve
@@ -55,6 +61,10 @@ class ScenarioReport:
         elasticity: Residency/drain/autoscaler telemetry — only for
             elastic runs (warm-up count/seconds/bytes, drains, scaling
             actions).
+        tenancy: Multi-tenant telemetry — only for tenancy-enabled runs
+            (per-tenant :class:`~repro.sim.metrics.TenantMetrics`, the
+            end-of-run Jain fairness index, starvation/shed counts, and
+            how many live KV-accounting samples the run survived).
         violations: Every invariant/oracle breach found (empty = pass).
         fingerprint: Digest of the run's observable outcome, stable
             across identical replays.
@@ -66,6 +76,7 @@ class ScenarioReport:
     metrics: ServingMetrics | None = None
     disruption: DisruptionReport | None = None
     elasticity: dict | None = None
+    tenancy: dict | None = None
     violations: list[Violation] = field(default_factory=list)
     fingerprint: str = ""
 
@@ -202,8 +213,13 @@ def run_scenario(scenario: Scenario) -> ScenarioReport:
         policy=scenario.policy,
         debug_validate=scenario.detection,
         residency=scenario.residency,
+        tenancy=scenario.tenancy,
     )
     auditor = SchedulerAuditor(scheduler, residency=sim.residency)
+    kv_sampler = None
+    if scenario.tenancy is not None:
+        kv_sampler = TenantKVSampler()
+        kv_sampler.install(sim)
     if controller is None:
         for event in scenario.churn:
             if event.time <= scenario.max_time:
@@ -244,8 +260,36 @@ def run_scenario(scenario: Scenario) -> ScenarioReport:
     report.violations.extend(sim_violations)
     if elastic:
         report.violations.extend(check_elastic(sim, metrics))
+    elif scenario.tenancy is not None:
+        report.violations.extend(check_tenancy(sim, metrics))
     elif scenario.detection or scenario.policy is not None:
         report.violations.extend(check_chaos(sim, metrics))
+    if scenario.tenancy is not None:
+        manager = sim.tenancy
+        registry = scenario.tenancy.registry
+        end_time = max(min(sim.now, sim.max_time), sim.warmup + 1e-9)
+        per_tenant = aggregate_tenant_metrics(
+            sim.records,
+            warmup=sim.warmup,
+            end_time=end_time,
+            slo_targets={
+                spec.tenant_id: (
+                    spec.slo.ttft_target,
+                    spec.slo.tbt_target,
+                    spec.slo.percentile,
+                )
+                for spec in registry
+            },
+        )
+        report.tenancy = {
+            "per_tenant": per_tenant,
+            "fairness_index": manager.tracker.fairness_index(end_time),
+            "starvation_events": len(manager.starvation_events),
+            "shed_by_priority": dict(metrics.requests_shed_by_priority),
+            "kv_samples": kv_sampler.samples if kv_sampler else 0,
+        }
+        if kv_sampler is not None:
+            report.violations.extend(kv_sampler.violations)
     report.violations.extend(auditor.violations)
     if auditor.pipelines_audited == 0:
         report.violations.append(Violation(

@@ -332,6 +332,108 @@ def check_elastic(sim: Simulation, metrics: ServingMetrics) -> list[Violation]:
 
 
 # ----------------------------------------------------------------------
+# Multi-tenancy invariants
+# ----------------------------------------------------------------------
+def check_tenancy(sim: Simulation, metrics: ServingMetrics) -> list[Violation]:
+    """Invariants specific to multi-tenant (tenancy-enabled) runs.
+
+    * everything :func:`check_chaos` guarantees (request conservation,
+      exclusive terminal states);
+    * every request carries a tenant id the registry knows;
+    * no cross-tenant starvation: the manager's watchdog fired no
+      :class:`~repro.tenancy.manager.StarvationEvent` (a backlogged
+      tenant always got served within one fairness horizon);
+    * shed accounting splits exactly: the per-priority shed counts sum
+      to the global ``requests_shed``;
+    * token accounting: the manager's per-tenant token counters sum to
+      every token the system emitted (disrupted attempts included).
+    """
+    violations = check_chaos(sim, metrics)
+    manager = sim.tenancy
+    if manager is None:
+        return violations + [Violation(
+            "tenancy_enabled",
+            "check_tenancy called on a run without a tenancy config",
+        )]
+
+    known = set(manager.config.registry.ids)
+    for record in sim.records:
+        if record.tenant_id not in known:
+            violations.append(Violation(
+                "tenant_registered",
+                f"request {record.request_id} carries tenant "
+                f"{record.tenant_id!r} unknown to the registry {sorted(known)}",
+            ))
+
+    for event in manager.starvation_events:
+        violations.append(Violation(
+            "no_cross_tenant_starvation",
+            f"tenant {event.tenant_id} was backlogged from "
+            f"{event.backlogged_since:.2f}s and still unserved at "
+            f"{event.detected_at:.2f}s (horizon "
+            f"{manager.config.fairness.horizon:.2f}s)",
+        ))
+
+    shed_split = sum(count for _, count in metrics.requests_shed_by_priority)
+    if shed_split != metrics.requests_shed:
+        violations.append(Violation(
+            "shed_by_priority_sums",
+            f"per-priority shed counts sum to {shed_split} but "
+            f"requests_shed is {metrics.requests_shed}",
+        ))
+
+    noted = sum(manager.tokens_by_tenant.values())
+    if noted != sim.tokens_emitted:
+        violations.append(Violation(
+            "tenant_token_accounting",
+            f"per-tenant token counters sum to {noted} but the system "
+            f"emitted {sim.tokens_emitted} tokens",
+        ))
+    return violations
+
+
+class TenantKVSampler:
+    """Live sampler proving per-tenant KV charges sum to pool totals.
+
+    Rides the simulator's environment-event queue: every ``interval``
+    simulated seconds it folds :meth:`Simulation.kv_usage_by_tenant`
+    per node and compares each sum against that node's
+    ``pool.used_tokens`` — the tentpole accounting invariant (no KV
+    token is ever charged without a tenant owning it, and none is owned
+    twice). Install before the run; it stops rescheduling itself once
+    every request has arrived and none is in flight. Read
+    ``violations`` after the run.
+    """
+
+    def __init__(self, interval: float = 1.0) -> None:
+        self.interval = interval
+        self.samples = 0
+        self.violations: list[Violation] = []
+
+    def install(self, sim: Simulation) -> None:
+        """Arm the first sample on ``sim``'s event queue."""
+        sim.schedule_event(self.interval, self._sample)
+
+    def _sample(self, sim: Simulation) -> None:
+        self.samples += 1
+        usage = sim.kv_usage_by_tenant()
+        for node_id, pool in sim.kv_pools.items():
+            total = sum(usage.get(node_id, {}).values())
+            if total != pool.used_tokens:
+                self.violations.append(Violation(
+                    "tenant_kv_sums_to_pool",
+                    f"t={sim.now:.2f}: node {node_id} per-tenant KV sum "
+                    f"{total} != pool used_tokens {pool.used_tokens}",
+                ))
+        done = (
+            len(sim.records) >= len(sim.requests)
+            and sim.in_flight_requests == 0
+        )
+        if not done:
+            sim.schedule_event(sim.now + self.interval, self._sample)
+
+
+# ----------------------------------------------------------------------
 # Scheduling-layer invariants (live audit)
 # ----------------------------------------------------------------------
 class SchedulerAuditor:

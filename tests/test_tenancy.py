@@ -1,0 +1,390 @@
+"""Multi-tenancy suite: registry, fairness, admission, arbitration.
+
+The acceptance criteria of the tenancy PR, as tier-1 smoke tests:
+
+* tenancy off (the default) leaves the engine untouched — and a
+  *single-tenant* tenancy config is bit-identical to no config at all
+  (same token timeline on the same trace);
+* a registered tenant that sends no traffic accrues exactly zero
+  fairness debt and never trips the starvation watchdog;
+* the no-starvation invariant is real: a priority-only selector starves
+  the low-priority tenant under sustained high-priority load (the
+  watchdog fires), while the deficit selector serves both;
+* admission control sheds lowest-priority traffic first and the
+  per-priority shed split always sums to the global counter;
+* the ``tenant`` scenario family passes every invariant (determinism,
+  differential oracles, live per-tenant KV accounting) on several seeds;
+* :meth:`HelixMilpPlanner.plan_tenants` splits cluster throughput across
+  tenants with shared base weights counted once.
+"""
+
+import math
+
+import pytest
+
+from repro.cluster import small_cluster_fig12
+from repro.flow.graph import FlowGraph
+from repro.models.specs import LLAMA_30B
+from repro.placement import HelixMilpPlanner
+from repro.scheduling import HelixScheduler
+from repro.sim import Request, Simulation, aggregate_tenant_metrics
+from repro.sim.metrics import RequestRecord
+from repro.tenancy import (
+    BATCH,
+    INTERACTIVE,
+    STANDARD,
+    AdmissionConfig,
+    FairnessConfig,
+    SLOClass,
+    TenancyConfig,
+    TenantManager,
+    TenantRegistry,
+    TenantSpec,
+    jain_index,
+)
+from repro.tenancy.fairness import WindowedFairnessTracker
+from repro.testkit import assert_scenario_ok, check_tenancy, verify_scenario
+
+
+def make_simulation(cluster, model, placement, requests, **kwargs):
+    flow = FlowGraph(cluster, model, placement).solve()
+    scheduler = HelixScheduler(cluster, model, placement, flow=flow)
+    return Simulation(cluster, model, placement, scheduler, requests, **kwargs)
+
+
+def trace(n, spacing, tenant_id="", start=0.0, input_len=32, output_len=8):
+    return [
+        Request(
+            f"{tenant_id or 'r'}:{i}",
+            input_len,
+            output_len,
+            arrival_time=start + i * spacing,
+            tenant_id=tenant_id,
+        )
+        for i in range(n)
+    ]
+
+
+def merged(*traces):
+    out = [r for t in traces for r in t]
+    out.sort(key=lambda r: (r.arrival_time, r.request_id))
+    return out
+
+
+@pytest.fixture()
+def placement8():
+    from repro.core.placement_types import ModelPlacement
+
+    return ModelPlacement.from_intervals(
+        8, {"a100-0": (0, 4), "t4-1": (0, 4), "l4-0": (4, 8), "t4-0": (4, 8)}
+    )
+
+
+# ----------------------------------------------------------------------
+# Registry & SLO classes
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_slo_class_validation(self):
+        with pytest.raises(ValueError):
+            SLOClass("bad", ttft_target=0.0, tbt_target=1.0)
+        with pytest.raises(ValueError):
+            SLOClass("bad", ttft_target=1.0, tbt_target=1.0, percentile=1.5)
+
+    def test_registry_is_sorted_and_shares_normalize(self):
+        registry = TenantRegistry([
+            TenantSpec("zeta", rate_share=3.0),
+            TenantSpec("alpha", rate_share=1.0),
+        ])
+        assert registry.ids == ("alpha", "zeta")
+        shares = registry.shares()
+        assert shares["zeta"] == pytest.approx(0.75)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_duplicate_tenant_rejected(self):
+        with pytest.raises(ValueError):
+            TenantRegistry([TenantSpec("a"), TenantSpec("a")])
+
+    def test_presets_cover_the_latency_spectrum(self):
+        assert INTERACTIVE.ttft_target < STANDARD.ttft_target < BATCH.ttft_target
+
+
+# ----------------------------------------------------------------------
+# Fairness tracker & Jain index
+# ----------------------------------------------------------------------
+class TestFairness:
+    def test_jain_index_extremes(self):
+        assert jain_index([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+        # One tenant hogging everything: index collapses toward 1/n.
+        assert jain_index([1.0, 0.0, 0.0]) == pytest.approx(1.0 / 3.0)
+        assert jain_index([]) == 1.0
+
+    def test_window_accounting_and_span_split(self):
+        config = FairnessConfig(mode="T", window=1.0, backlog_windows=2)
+        tracker = WindowedFairnessTracker(config, {"a": 0.5, "b": 0.5})
+        # A span crossing a window boundary splits across both windows.
+        tracker.note_span("a", 0.5, 1.5)
+        service = tracker.service_in_backlog(1.5)
+        assert service["a"] == pytest.approx(1.0)
+        # Beyond the backlog horizon the early half ages out.
+        service = tracker.service_in_backlog(2.5)
+        assert service["a"] == pytest.approx(0.5)
+
+    def test_zero_demand_tenant_has_zero_debt(self):
+        """A registered-but-idle tenant must not accrue fairness debt."""
+        config = FairnessConfig(mode="W", window=1.0, backlog_windows=4)
+        shares = {"busy": 0.5, "idle": 0.5}
+        manager = TenantManager(TenancyConfig(
+            registry=TenantRegistry([
+                TenantSpec("busy"), TenantSpec("idle"),
+            ]),
+            fairness=config,
+        ))
+        for i in range(20):
+            manager.note_token("busy", 0.1 * i)
+        # Entitlement renormalizes over *active* tenants: with only one
+        # active tenant there is no debt anywhere.
+        deficits = manager._deficits_now(["busy"], 2.0)
+        assert deficits["idle"] == 0.0
+        assert deficits["busy"] == pytest.approx(0.0)
+        assert manager.starvation_events == []
+
+
+# ----------------------------------------------------------------------
+# Engine gating: off by default, single tenant bit-identical
+# ----------------------------------------------------------------------
+class TestGating:
+    def test_tenancy_off_by_default(self, small_cluster, tiny_model, placement8):
+        sim = make_simulation(
+            small_cluster, tiny_model, placement8, trace(5, 0.1),
+            max_time=30.0, seed=0,
+        )
+        assert sim.tenancy is None
+        sim.run()
+        assert sim.kv_usage_by_tenant() == {}
+
+    def test_single_tenant_is_bit_identical(
+        self, small_cluster, tiny_model, placement8
+    ):
+        """The degenerate one-tenant config must not perturb the engine:
+        same requests, same seed => the exact same token timeline."""
+        requests = trace(40, 0.1, tenant_id="solo")
+        off = make_simulation(
+            small_cluster, tiny_model, placement8, list(requests),
+            max_time=60.0, seed=0,
+        )
+        metrics_off = off.run()
+        on = make_simulation(
+            small_cluster, tiny_model, placement8, list(requests),
+            max_time=60.0, seed=0,
+            tenancy=TenancyConfig(TenantRegistry([TenantSpec("solo")])),
+        )
+        metrics_on = on.run()
+        assert on.token_timeline == off.token_timeline
+        assert metrics_on.requests_finished == metrics_off.requests_finished
+        assert metrics_on.decode_throughput == metrics_off.decode_throughput
+        assert on.tenancy.tokens_by_tenant["solo"] == on.tokens_emitted
+        violations = check_tenancy(on, metrics_on)
+        assert not violations, "\n".join(str(v) for v in violations)
+
+
+# ----------------------------------------------------------------------
+# Starvation: the invariant catches an unfair scheduler
+# ----------------------------------------------------------------------
+def _contended_run(small_cluster, tiny_model, placement8, selector):
+    """Sustained high-priority flood + a trickle of low-priority work.
+
+    The scheduler's expected-output KV charge is inflated so only a few
+    requests fit concurrently; arrivals outpace admission, the pending
+    queue stays deeply backlogged, and the selector decides who starves.
+    """
+    registry = TenantRegistry([
+        TenantSpec("vip", priority=2, rate_share=1.0),
+        TenantSpec("lowly", priority=0, rate_share=1.0),
+    ])
+    fairness = FairnessConfig(
+        mode="W", window=1.0, backlog_windows=3, selector=selector,
+    )
+    requests = merged(
+        trace(200, 0.02, tenant_id="vip", input_len=64, output_len=48),
+        trace(8, 0.02, tenant_id="lowly", input_len=64, output_len=48),
+    )
+    flow = FlowGraph(small_cluster, tiny_model, placement8).solve()
+    scheduler = HelixScheduler(
+        small_cluster, tiny_model, placement8, flow=flow,
+        expected_output_len=400000.0,
+    )
+    sim = Simulation(
+        small_cluster, tiny_model, placement8, scheduler, requests,
+        max_time=120.0, seed=0,
+        tenancy=TenancyConfig(registry, fairness=fairness),
+    )
+    metrics = sim.run()
+    return sim, metrics
+
+
+class TestStarvation:
+    def test_priority_only_selector_starves_the_low_tenant(
+        self, small_cluster, tiny_model, placement8
+    ):
+        sim, _ = _contended_run(
+            small_cluster, tiny_model, placement8, selector="priority"
+        )
+        starved = {e.tenant_id for e in sim.tenancy.starvation_events}
+        assert "lowly" in starved, (
+            "the deliberately unfair control scheduler should trip the "
+            "no-starvation watchdog"
+        )
+
+    def test_deficit_selector_serves_everyone(
+        self, small_cluster, tiny_model, placement8
+    ):
+        sim, metrics = _contended_run(
+            small_cluster, tiny_model, placement8, selector="deficit"
+        )
+        assert sim.tenancy.starvation_events == []
+        assert sim.tenancy.tokens_by_tenant["lowly"] > 0
+        violations = check_tenancy(sim, metrics)
+        assert not violations, "\n".join(str(v) for v in violations)
+
+
+# ----------------------------------------------------------------------
+# Admission control: shed lowest priority first, split accounting
+# ----------------------------------------------------------------------
+class TestAdmission:
+    def test_sheds_lowest_priority_first(
+        self, small_cluster, tiny_model, placement8
+    ):
+        registry = TenantRegistry([
+            TenantSpec("vip", priority=2),
+            TenantSpec("lowly", priority=0),
+        ])
+        requests = merged(
+            trace(40, 0.02, tenant_id="lowly", input_len=64, output_len=48),
+            trace(40, 0.02, tenant_id="vip", start=0.01,
+                  input_len=64, output_len=48),
+        )
+        flow = FlowGraph(small_cluster, tiny_model, placement8).solve()
+        scheduler = HelixScheduler(
+            small_cluster, tiny_model, placement8, flow=flow,
+            expected_output_len=400000.0,
+        )
+        sim = Simulation(
+            small_cluster, tiny_model, placement8, scheduler, requests,
+            max_time=120.0, seed=0,
+            tenancy=TenancyConfig(
+                registry,
+                fairness=FairnessConfig(mode="W"),
+                admission=AdmissionConfig(max_pending=6),
+            ),
+        )
+        metrics = sim.run()
+        assert metrics.requests_shed > 0
+        shed = dict(metrics.requests_shed_by_priority)
+        assert sum(shed.values()) == metrics.requests_shed
+        # Evict-lower-priority admission: the cheap class takes the hit.
+        assert shed.get(0, 0) > shed.get(2, 0)
+        violations = check_tenancy(sim, metrics)
+        assert not violations, "\n".join(str(v) for v in violations)
+
+    def test_admission_config_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionConfig(max_pending=0)
+
+
+# ----------------------------------------------------------------------
+# Per-tenant metrics
+# ----------------------------------------------------------------------
+class TestTenantMetrics:
+    def test_attainment_from_crafted_records(self):
+        def record(rid, tid, first, per_token):
+            r = RequestRecord(
+                request_id=rid, input_len=16, output_len=4,
+                arrival_time=0.0, tenant_id=tid,
+            )
+            r.first_token_time = first
+            r.tokens_generated = 4
+            r.token_times = [first + i * per_token for i in range(4)]
+            r.finish_time = r.token_times[-1]
+            return r
+
+        records = [
+            record("a:0", "a", first=0.5, per_token=0.1),   # meets both
+            record("a:1", "a", first=9.0, per_token=0.1),   # misses TTFT
+            record("b:0", "b", first=0.5, per_token=2.0),   # misses TBT
+        ]
+        per_tenant = aggregate_tenant_metrics(
+            records, warmup=0.0, end_time=10.0,
+            slo_targets={
+                "a": (2.0, 0.25, 0.95),
+                "b": (2.0, 0.25, 0.95),
+                "ghost": (2.0, 0.25, 0.95),
+            },
+        )
+        assert per_tenant["a"].ttft_attainment == pytest.approx(0.5)
+        assert per_tenant["a"].tbt_attainment == pytest.approx(1.0)
+        assert not per_tenant["a"].slo_met
+        assert per_tenant["b"].tbt_attainment == pytest.approx(0.0)
+        # Registered but silent tenants still get a (vacuous) row.
+        assert per_tenant["ghost"].requests_submitted == 0
+        assert per_tenant["ghost"].slo_met
+        # Decode tokens exclude each request's first token (3 of 4, x2).
+        assert per_tenant["a"].decode_tokens == 6
+
+
+# ----------------------------------------------------------------------
+# MILP arbitration
+# ----------------------------------------------------------------------
+class TestArbitration:
+    def test_plan_tenants_splits_cluster_throughput(self):
+        cluster = small_cluster_fig12()
+        planner = HelixMilpPlanner(
+            cluster, LLAMA_30B, time_limit=20, prune_degree=6
+        )
+        registry = TenantRegistry([
+            TenantSpec("chat", rate_share=2.0,
+                       adapter_bytes_per_layer=50 * 2**20),
+            TenantSpec("batch", rate_share=1.0,
+                       adapter_bytes_per_layer=50 * 2**20),
+        ])
+        arb = planner.plan_tenants(registry, guarantee=0.5, burst=1.5)
+        assert arb.result.max_throughput > 0
+        # The per-tenant split is a decomposition of the shared flow.
+        assert arb.total_throughput == pytest.approx(
+            arb.result.flow.max_flow, rel=1e-4
+        )
+        # Every tenant gets at least its guaranteed slice.
+        for tid, share in arb.shares.items():
+            assert arb.per_tenant_throughput[tid] >= (
+                0.5 * share * arb.result.flow.max_flow - 1e-6
+            )
+        # Adapters eat VRAM: the scaled layer budget is strictly tighter.
+        assert arb.max_layers_scale < 1.0
+        assert arb.adapter_overhead_bytes == 2 * 50 * 2**20
+
+    def test_plan_tenants_rejects_bad_knobs(self):
+        planner = HelixMilpPlanner(
+            small_cluster_fig12(), LLAMA_30B, time_limit=5
+        )
+        registry = TenantRegistry([TenantSpec("a")])
+        with pytest.raises(ValueError):
+            planner.plan_tenants(registry, guarantee=1.5)
+        with pytest.raises(ValueError):
+            planner.plan_tenants(registry, burst=0.0)
+
+
+# ----------------------------------------------------------------------
+# Scenario family acceptance
+# ----------------------------------------------------------------------
+class TestTenantScenarios:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_tenant_family_passes_all_invariants(self, seed):
+        report = verify_scenario("tenant", seed, "smoke")
+        assert_scenario_ok(report)
+        assert report.tenancy is not None
+        assert report.tenancy["kv_samples"] > 0
+        assert 0.0 < report.tenancy["fairness_index"] <= 1.0 + 1e-9
+        assert report.tenancy["starvation_events"] == 0
+        per_tenant = report.tenancy["per_tenant"]
+        assert len(per_tenant) >= 2
+        for tm in per_tenant.values():
+            assert math.isfinite(tm.goodput)
