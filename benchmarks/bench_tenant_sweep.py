@@ -131,7 +131,7 @@ def _contended_run(selector: str) -> dict:
             {e.tenant_id for e in manager.starvation_events}
         ),
         "fairness_index": round(
-            manager.tracker.fairness_index(sim.now), 4
+            manager.fairness_index(sim.now), 4
         ),
         "tokens_by_tenant": dict(manager.tokens_by_tenant),
         "requests_finished": metrics.requests_finished,

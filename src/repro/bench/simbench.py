@@ -21,8 +21,16 @@ measured once:
   churn applied through ``schedule_event``; every disruption invalidates
   coalescing windows mid-flight, so this measures the engine under
   constant fallback (and double-checks the disrupted paths agree).
+* **diurnal** — a multi-day diurnal arrival trace on a single-stage
+  serving pipeline at low offered load: long closed windows where the
+  batch engine's vectorized steady-state fast-forward macro-steps whole
+  decode rounds. This is the batch engine's headline scenario — the
+  ``large`` tier serves 100,000 requests spanning simulated months, and
+  the target is >=1M simulated tokens per wall-second
+  (``sim_diurnal_large_batch_tokens_per_s``). Only the hop-table and
+  batch engines run it; the frozen baseline would take hours.
 
-Each scenario runs on both engines at three trace sizes and records
+Each scenario runs on every engine at three trace sizes and records
 simulated-tokens-per-wall-second, events popped, engine telemetry
 (grouped hops, fast-forwarded tokens), and peak RSS. Token counts and
 decode throughput are asserted equal between engines on every run — the
@@ -40,15 +48,20 @@ import resource
 import time
 from pathlib import Path
 
+from types import SimpleNamespace
+
 from repro.bench.perftrack import DEFAULT_OUTPUT, PerfTracker
-from repro.cluster import Profiler, small_cluster_fig12
-from repro.models.specs import LLAMA_30B
+from repro.cluster import A100_40G, Cluster, Profiler, small_cluster_fig12
+from repro.core.placement_types import ModelPlacement
+from repro.core.units import GBIT
+from repro.flow.graph import FlowGraph
+from repro.models.specs import LLAMA_30B, ModelSpec
 from repro.online.events import ChurnConfig, random_churn
 from repro.placement.helix_milp import HelixMilpPlanner
 from repro.scheduling.helix import HelixScheduler
 from repro.sim import Request, Simulation
 from repro.sim._legacy_reference import LegacySimulation
-from repro.trace.arrival import poisson_arrivals
+from repro.trace.arrival import diurnal_arrivals, poisson_arrivals
 from repro.trace.azure import AzureTraceConfig, synthesize_azure_trace
 
 DEFAULT_SIM_OUTPUT = DEFAULT_OUTPUT.parent / "BENCH_sim.json"
@@ -63,8 +76,20 @@ _FLOOD_TIERS = {
 _POISSON_TIERS = {"small": 150, "medium": 400, "large": 1000}
 #: (requests, horizon_seconds) per churn-soak tier.
 _CHURN_TIERS = {"small": (150, 60.0), "medium": (400, 120.0), "large": (800, 240.0)}
+#: Requests per diurnal tier; the large tier is the nightly 100k case.
+_DIURNAL_TIERS = {"small": 2000, "medium": 20000, "large": 100000}
+#: Diurnal offered load: mean arrival rate times solo latency. 0.02 keeps
+#: the pipeline in the closed-window regime almost always, which is the
+#: steady state the vectorized fast-forward exists for.
+_DIURNAL_LOAD = 0.02
+_DIURNAL_OUTPUT_LEN = 512
 
-_ENGINES = (("legacy", LegacySimulation), ("hop_table", Simulation))
+#: (label, simulation class, extra constructor kwargs).
+_ENGINES = (
+    ("legacy", LegacySimulation, {}),
+    ("hop_table", Simulation, {}),
+    ("batch", Simulation, {"engine": "batch"}),
+)
 
 
 def _peak_rss_mb() -> float:
@@ -98,18 +123,20 @@ def _serve(
     max_batch_tokens: int | None,
     max_time: float,
     churn_events=None,
+    engines=_ENGINES,
+    model: ModelSpec = LLAMA_30B,
 ) -> dict[str, float]:
-    """Run one scenario on both engines; record timings and the speedup."""
+    """Run one scenario on every engine; record timings and speedups."""
     rows: dict[str, tuple[float, int]] = {}
-    for label, sim_cls in _ENGINES:
+    for label, sim_cls, extra in engines:
         scheduler = HelixScheduler(
-            cluster, LLAMA_30B, result.placement, profiler,
+            cluster, model, result.placement, profiler,
             flow=result.flow, expected_output_len=expected_output_len,
         )
         sim = sim_cls(
-            cluster, LLAMA_30B, result.placement, scheduler, trace,
+            cluster, model, result.placement, scheduler, trace,
             profiler=profiler, max_batch_tokens=max_batch_tokens,
-            max_time=max_time, seed=0,
+            max_time=max_time, seed=0, **extra,
         )
         if churn_events:
             for event in churn_events:
@@ -135,18 +162,22 @@ def _serve(
             # engine so both replay the identical scenario.
             for node_id in list(sim.down_nodes):
                 cluster.set_node_available(node_id, True)
-    legacy_wall, legacy_tokens = rows["legacy"]
-    hop_wall, hop_tokens = rows["hop_table"]
-    if legacy_tokens != hop_tokens:
+    token_counts = {label: tokens for label, (_, tokens) in rows.items()}
+    if len(set(token_counts.values())) != 1:
         raise AssertionError(
             f"{name}: engines generated different token counts "
-            f"({legacy_tokens} vs {hop_tokens})"
+            f"({token_counts})"
         )
     metrics = {
-        f"{name}_legacy_tokens_per_s": legacy_tokens / legacy_wall,
-        f"{name}_hop_table_tokens_per_s": hop_tokens / hop_wall,
-        f"{name}_speedup": legacy_wall / hop_wall,
+        f"{name}_{label}_tokens_per_s": tokens / wall
+        for label, (wall, tokens) in rows.items()
     }
+    if "legacy" in rows and "hop_table" in rows:
+        metrics[f"{name}_speedup"] = rows["legacy"][0] / rows["hop_table"][0]
+    if "batch" in rows and "hop_table" in rows:
+        metrics[f"{name}_batch_vs_hop"] = (
+            rows["hop_table"][0] / rows["batch"][0]
+        )
     for key, value in metrics.items():
         tracker.record(key, value)
     return metrics
@@ -224,6 +255,83 @@ def bench_sim_churn_soak(
     )
 
 
+def _diurnal_material() -> tuple:
+    """Single-stage serving pipeline for the diurnal trace.
+
+    One A100 holds every layer of a small 8-layer model, so a request's
+    decode round is entry transmit -> one batch -> token return. At low
+    offered load the simulation is almost entirely closed windows of
+    identical rounds — exactly the steady state the batch engine's
+    vectorized fast-forward macro-steps. The multi-node regimes are
+    covered by the flooded / poisson / churn scenarios above.
+    """
+    model = ModelSpec(
+        name="diurnal-tiny-8L", num_layers=8, hidden_size=1024, num_heads=8,
+        num_kv_heads=8, intermediate_size=2816,
+        nominal_params=8 * (4 * 1024**2 + 3 * 1024 * 2816),
+    )
+    cluster = Cluster(name="bench-diurnal")
+    cluster.add_node("a100-0", A100_40G, region="r0")
+    cluster.connect_full_mesh(
+        ["a100-0"], 10 * GBIT, 0.001, include_coordinator=True
+    )
+    cluster.validate()
+    placement = ModelPlacement.from_intervals(8, {"a100-0": (0, 8)})
+    flow = FlowGraph(cluster, model, placement).solve()
+    return cluster, model, SimpleNamespace(placement=placement, flow=flow)
+
+
+def _diurnal_solo_latency(cluster, model, result, profiler) -> float:
+    """End-to-end latency of one request on the idle diurnal pipeline."""
+    scheduler = HelixScheduler(
+        cluster, model, result.placement, profiler, flow=result.flow,
+        expected_output_len=float(_DIURNAL_OUTPUT_LEN),
+    )
+    sim = Simulation(
+        cluster, model, result.placement, scheduler,
+        [Request("solo", 64, _DIURNAL_OUTPUT_LEN, 0.0)],
+        profiler=profiler, max_time=1e12, seed=0,
+    )
+    sim.run()
+    record = sim.records[0]
+    return record.finish_time - record.arrival_time
+
+
+def bench_sim_diurnal(
+    tracker: PerfTracker, size: str = "large", quick: bool = False
+) -> dict:
+    """The batch engine's headline: a multi-day diurnal arrival trace.
+
+    The arrival rate is calibrated against the measured solo latency so
+    the offered load (and therefore the closed-window fraction) is
+    machine-independent. Runs the hop-table and batch engines only: the
+    frozen baseline has no fast-forward at all, so even the small tier
+    would take minutes and the 100k tier hours.
+    """
+    del quick  # no planner: the placement is fixed, every tier is cheap
+    num_requests = _DIURNAL_TIERS[size]
+    profiler = Profiler()
+    cluster, model, result = _diurnal_material()
+    latency = _diurnal_solo_latency(cluster, model, result, profiler)
+    rate = _DIURNAL_LOAD / latency
+    base = [
+        Request(f"d{i:06d}", 64, _DIURNAL_OUTPUT_LEN)
+        for i in range(num_requests)
+    ]
+    trace = diurnal_arrivals(base, rate, seed=0)
+    metrics = _serve(
+        tracker, f"sim_diurnal_{size}", cluster, result, profiler, trace,
+        expected_output_len=float(_DIURNAL_OUTPUT_LEN),
+        max_batch_tokens=None, max_time=1e12,
+        engines=tuple(e for e in _ENGINES if e[0] != "legacy"),
+        model=model,
+    )
+    span_days = trace[-1].arrival_time / 86400.0
+    tracker.record(f"sim_diurnal_{size}_span_days", span_days)
+    metrics[f"sim_diurnal_{size}_span_days"] = span_days
+    return metrics
+
+
 def run_sim_bench(
     smoke: bool = False, path: Path | str | None = None
 ) -> dict:
@@ -244,5 +352,6 @@ def run_sim_bench(
         bench_sim_flooded(tracker, size, quick=smoke)
         bench_sim_poisson(tracker, size, quick=smoke)
         bench_sim_churn_soak(tracker, size, quick=smoke)
+        bench_sim_diurnal(tracker, size, quick=smoke)
     tracker.write(path if path is not None else DEFAULT_SIM_OUTPUT)
     return tracker.to_dict()

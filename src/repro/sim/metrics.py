@@ -14,6 +14,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+import numpy as _np
+
 
 @dataclass
 class RequestRecord:
@@ -69,7 +71,14 @@ class RequestRecord:
 
 @dataclass(frozen=True)
 class LatencyStats:
-    """Summary of a latency sample (the paper's box-plot quantities)."""
+    """Summary of a latency sample (the paper's box-plot quantities).
+
+    ``count`` covers only the finite samples the percentiles are computed
+    from; ``nan_count`` records how many samples were NaN (lost or
+    unfinished requests) — they are excluded from the distribution but
+    *not* silently forgotten, so a consumer dividing by request counts can
+    see the disagreement instead of inheriting it.
+    """
 
     count: int
     mean: float
@@ -78,12 +87,27 @@ class LatencyStats:
     p50: float
     p75: float
     p95: float
+    nan_count: int = 0
+
+    def __str__(self) -> str:
+        dropped = f" ({self.nan_count} NaN)" if self.nan_count else ""
+        if self.count == 0:
+            return f"n=0{dropped}"
+        return (
+            f"n={self.count}{dropped} mean={self.mean:.4f}s "
+            f"p5={self.p5:.4f} p25={self.p25:.4f} p50={self.p50:.4f} "
+            f"p75={self.p75:.4f} p95={self.p95:.4f}"
+        )
 
     @classmethod
     def from_samples(cls, samples: list[float]) -> "LatencyStats":
         clean = sorted(s for s in samples if not math.isnan(s))
+        nan_count = len(samples) - len(clean)
         if not clean:
-            return cls(0, math.nan, math.nan, math.nan, math.nan, math.nan, math.nan)
+            return cls(
+                0, math.nan, math.nan, math.nan, math.nan, math.nan,
+                math.nan, nan_count=nan_count,
+            )
 
         def percentile(q: float) -> float:
             index = q * (len(clean) - 1)
@@ -102,6 +126,7 @@ class LatencyStats:
             p50=percentile(0.50),
             p75=percentile(0.75),
             p95=percentile(0.95),
+            nan_count=nan_count,
         )
 
 
@@ -226,11 +251,17 @@ def aggregate_metrics(
 class TenantMetrics:
     """One tenant's slice of a serving run.
 
-    SLO attainment is the fraction of the tenant's finished requests
-    whose latency met the target: ``ttft_attainment`` against the
-    time-to-first-token target (prompt latency), ``tbt_attainment``
-    against the time-between-tokens target (mean decode interval; a
-    single-token request has no intervals and counts as attained). The
+    SLO attainment is the fraction of the tenant's *admitted* requests
+    (submitted and not rejected by admission control) whose latency met
+    the target: ``ttft_attainment`` against the time-to-first-token
+    target (prompt latency), ``tbt_attainment`` against the
+    time-between-tokens target (mean decode interval; a finished
+    single-token request has no intervals and counts as attained).
+    Requests that were lost (deadline/retry-budget abandonment) or never
+    finished inside the horizon count *against* attainment — an operator
+    cannot claim an SLO was met for a request that never completed. Shed
+    requests are excluded from the latency denominators (they never held
+    a pipeline; ``requests_shed`` accounts for them separately). The
     tenant's SLO is *met* when both attainments reach the class
     percentile.
     """
@@ -296,6 +327,11 @@ def aggregate_tenant_metrics(
                 if warmup <= token_time <= end_time:
                     decode_tokens += 1
         finished = [r for r in rows if r.finished]
+        # Attainment denominators cover every admitted request, so a lost
+        # or never-finished request counts as a miss instead of silently
+        # dropping out of the SLO (the NaN latencies that
+        # LatencyStats.from_samples excludes are exactly these rows).
+        admitted = [r for r in rows if not r.shed]
         ttft_ok = sum(
             1 for r in finished if r.prompt_latency <= ttft_target
         )
@@ -304,8 +340,8 @@ def aggregate_tenant_metrics(
             for r in finished
             if math.isnan(r.decode_latency) or r.decode_latency <= tbt_target
         )
-        ttft_attainment = ttft_ok / len(finished) if finished else 1.0
-        tbt_attainment = tbt_ok / len(finished) if finished else 1.0
+        ttft_attainment = ttft_ok / len(admitted) if admitted else 1.0
+        tbt_attainment = tbt_ok / len(admitted) if admitted else 1.0
         out[tenant_id] = TenantMetrics(
             tenant_id=tenant_id,
             requests_submitted=len(rows),
@@ -364,6 +400,29 @@ class TokenTimeline:
         counts[index] += 1
         self.count += 1
 
+    def add_many(self, times) -> None:
+        """Bulk-fold a sorted-or-not array of emission times.
+
+        Semantically identical to calling :meth:`add` once per element
+        (bucket indices are the same ``int(t * 1/resolution)`` truncation
+        and counts are integers, so the fold is exact); one
+        ``numpy.bincount`` over the touched bucket range replaces the
+        per-token Python loop. This is the batch engine's per-run
+        timeline write.
+        """
+        buckets = (_np.asarray(times) * self._inv).astype(_np.int64)
+        if buckets.size == 0:
+            return
+        counts = self._counts
+        lo = int(buckets.min())
+        hi = int(buckets.max())
+        if hi >= len(counts):
+            counts.extend([0] * (hi + 1 - len(counts)))
+        for offset, added in enumerate(_np.bincount(buckets - lo).tolist()):
+            if added:
+                counts[lo + offset] += added
+        self.count += int(buckets.size)
+
     def bucket_counts(self) -> list[int]:
         """Token counts per bucket (bucket i covers ``[i*r, (i+1)*r)``)."""
         return list(self._counts)
@@ -386,6 +445,7 @@ def goodput_timeline(
     window: float,
     end_time: float,
     start: float = 0.0,
+    resolution: float | None = None,
 ) -> list[tuple[float, float]]:
     """Windowed goodput: tokens/second per ``window``-second bucket.
 
@@ -394,13 +454,34 @@ def goodput_timeline(
     the curve shows the true served rate (the dip around a failure, the
     recovery after replanning). Returns ``(bucket_start, tokens_per_second)``
     rows covering ``[start, end_time)``; the trailing partial bucket is
-    dropped so every row is normalized by the same window length.
+    dropped so every row is normalized by the same window length. A token
+    emitted exactly at the covered horizon end (``start + num_buckets *
+    window``) lands in the final bucket instead of being dropped into a
+    phantom bucket past the horizon.
+
+    When ``token_times`` came from a bucketed :class:`TokenTimeline`, pass
+    its ``resolution``: the derived view is only bit-identical to the
+    exact timeline when ``window`` is a positive integer multiple of the
+    resolution, and this function then *raises* ``ValueError`` on a
+    non-multiple window instead of returning quietly-wrong buckets.
     """
     if window <= 0:
         raise ValueError(f"window must be positive, got {window}")
+    if resolution is not None:
+        if resolution <= 0:
+            raise ValueError(f"resolution must be positive, got {resolution}")
+        multiple = window / resolution
+        if multiple < 1 or multiple != int(multiple):
+            raise ValueError(
+                f"window {window} is not a positive integer multiple of the "
+                f"timeline resolution {resolution}: bucketed token times "
+                "would split across goodput windows and the derived curve "
+                "would silently disagree with the exact one"
+            )
     num_buckets = int((end_time - start) / window)
     if num_buckets <= 0:
         return []
+    horizon = start + num_buckets * window
     counts = [0] * num_buckets
     for t in token_times:
         if t < start:  # int() truncates toward zero: -0.5 would bucket to 0
@@ -408,6 +489,10 @@ def goodput_timeline(
         index = int((t - start) / window)
         if index < num_buckets:
             counts[index] += 1
+        elif t == horizon:
+            # Horizon-end boundary: the half-open final bucket adopts a
+            # token emitted exactly at its closing edge.
+            counts[num_buckets - 1] += 1
     return [
         (start + i * window, counts[i] / window) for i in range(num_buckets)
     ]

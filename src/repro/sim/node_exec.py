@@ -175,6 +175,19 @@ class NodeExecutor:
         self.queue_tokens += work.num_tokens
         self.queue_tl += work.tl
 
+    def enqueue_run(self, span: list[StageWork], tokens: int, tl: int) -> None:
+        """Enqueue a pre-summed run of works in one call.
+
+        The simulator's cohort path hands over a contiguous slice of a
+        same-executor group together with its token / token-layer totals
+        (often computed in O(1) from uniform-group metadata). Counters
+        must advance exactly as ``len(span)`` individual ``enqueue``
+        calls would.
+        """
+        self.queue.extend(span)
+        self.queue_tokens += tokens
+        self.queue_tl += tl
+
     def has_work(self) -> bool:
         """Whether the queue is non-empty."""
         return bool(self.queue)

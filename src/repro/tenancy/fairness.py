@@ -86,13 +86,19 @@ class FairnessConfig:
         return self.window * self.backlog_windows
 
 
-def jain_index(values: Iterable[float]) -> float:
+def jain_index(values: Iterable[float], any_demand: bool = False) -> float:
     """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``.
 
     Ranges from ``1/n`` (one value holds everything — zeros count
     toward ``n``, that is the whole point) to ``1.0`` (perfectly even).
-    Returns 1.0 when the list is empty or all-zero — an idle system is
-    vacuously fair.
+
+    The all-zero case is ambiguous and ``any_demand`` disambiguates it:
+    an *idle* system (nobody asked for service) is vacuously fair and
+    scores 1.0, but a fully-*starved* system (tenants had queued demand
+    and got nothing) is maximally unfair and scores ``1/n``. Callers
+    that know about queued demand — the windowed tracker — thread it
+    through; the default preserves the idle-is-fair reading. An empty
+    list always returns 1.0.
     """
     xs = list(values)
     if not xs:
@@ -100,7 +106,7 @@ def jain_index(values: Iterable[float]) -> float:
     total = sum(xs)
     squares = sum(x * x for x in xs)
     if squares <= 0:
-        return 1.0
+        return 1.0 / len(xs) if any_demand else 1.0
     return (total * total) / (len(xs) * squares)
 
 
@@ -188,21 +194,29 @@ class WindowedFairnessTracker:
             out[tid] = entitled - got
         return out
 
-    def fairness_index(self, now: float) -> float:
+    def fairness_index(
+        self, now: float, backlogged: Iterable[str] = ()
+    ) -> float:
         """Jain index over observed/entitled ratios in the current backlog.
 
         Covers every tenant that has *ever* received service (a
         participating tenant currently starved drags the index toward
-        ``1/n``); tenants that never sent traffic stay excluded so a
-        zero-demand registration cannot depress the index.
+        ``1/n``) plus every currently ``backlogged`` tenant — a tenant
+        with queued demand that never got served participates with
+        ratio 0 rather than being excluded. Tenants with neither
+        history nor backlog stay excluded so a zero-demand registration
+        cannot depress the index. When the participants are all-zero
+        *and* demand is queued, the index is ``1/n`` (total starvation),
+        not the vacuous 1.0 an idle system earns.
         """
         observed = self.service_in_backlog(now)
+        demand = {tid for tid in backlogged if tid in self._shares}
         ratios = [
             observed[tid] / self._shares[tid]
             for tid, history in self._service.items()
-            if any(history)
+            if any(history) or tid in demand
         ]
-        return jain_index(ratios)
+        return jain_index(ratios, any_demand=bool(demand))
 
     def fairness_timeline(
         self, end_time: float, step: float | None = None

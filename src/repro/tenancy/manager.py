@@ -218,6 +218,18 @@ class TenantManager:
             ),
         )
 
+    # -- reporting ------------------------------------------------------
+    def fairness_index(self, now: float) -> float:
+        """Backlog-aware Jain index at time ``now``.
+
+        Wraps :meth:`WindowedFairnessTracker.fairness_index` with the
+        set of currently backlogged tenants (the starvation watchdog's
+        marks), so a tenant with queued-but-never-served demand counts
+        as a zero-service participant instead of being invisible — a
+        fully starved system scores ``1/n``, not the idle system's 1.0.
+        """
+        return self.tracker.fairness_index(now, backlogged=self._starve_mark)
+
     # -- end of run -----------------------------------------------------
     def finalize(self, now: float) -> None:
         """Close the books at simulation end.

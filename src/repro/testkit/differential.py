@@ -321,10 +321,11 @@ def _run_engine(family: str, seed: int, size: str, engine: str):
     """Plan and serve one freshly-generated scenario on one engine.
 
     ``engine`` is ``"legacy"`` (the frozen pre-overhaul loop), ``"hop"``
-    (the current engine), or ``"perhop"`` (the current engine with
-    coalescing disabled — one heap event per hop). Every engine gets its
-    own generation: serving and churn mutate the cluster, and schedulers
-    are stateful.
+    (the current engine), ``"perhop"`` (the current engine with
+    coalescing disabled — one heap event per hop), or ``"batch"`` (the
+    cross-request batch-level engine). Every engine gets its own
+    generation: serving and churn mutate the cluster, and schedulers are
+    stateful.
     """
     from repro.bench.runner import make_planner, make_scheduler
     from repro.core.errors import ReproError
@@ -359,6 +360,8 @@ def _run_engine(family: str, seed: int, size: str, engine: str):
         sim_cls = Simulation
         if engine == "perhop":
             kwargs["coalescing"] = False
+        elif engine == "batch":
+            kwargs["engine"] = "batch"
     sim = sim_cls(
         cluster=scenario.cluster,
         model=scenario.model,
@@ -427,6 +430,13 @@ def _engine_observables(sim, metrics) -> dict:
         buckets = timeline.bucket_counts()
     while buckets and buckets[-1] == 0:
         buckets.pop()
+    tenancy = None
+    manager = getattr(sim, "tenancy", None)
+    if manager is not None:
+        tenancy = {
+            "tokens_by_tenant": dict(manager.tokens_by_tenant),
+            "starvation_events": len(manager.starvation_events),
+        }
     return {
         "records": records,
         "pools": pools,
@@ -435,6 +445,7 @@ def _engine_observables(sim, metrics) -> dict:
         "buckets": buckets,
         "metrics": metrics,
         "now": sim.now,
+        "tenancy": tenancy,
     }
 
 
@@ -463,6 +474,11 @@ def _compare_observables(tag: str, ours: dict, reference: dict) -> list[Violatio
                 flag(name, f"{key!r}: {row_a} != {row_b}")
     if ours["buckets"] != reference["buckets"]:
         flag("token_timeline", "bucket counts differ")
+    if ours.get("tenancy") != reference.get("tenancy"):
+        flag(
+            "tenancy",
+            f"{ours.get('tenancy')} != {reference.get('tenancy')}",
+        )
     if not _nan_equal(ours["now"], reference["now"]):
         flag("now", f"{ours['now']} != {reference['now']}")
     m_a, m_b = ours["metrics"], reference["metrics"]
@@ -494,16 +510,54 @@ def check_sim_engines(
     """The simulator-overhaul differential oracle for one address.
 
     Replays the scenario through the frozen pre-overhaul engine, the
-    hop-table engine, and the hop-table engine with coalescing disabled,
-    and requires *exactly* equal observables — per-request token times,
-    serving metrics, KV pools, executor utilization, and per-channel
-    network statistics. This is the guarantee behind the overhaul: hop
-    groups, the closed-window fast-forward, and the vectorized forwarding
-    change wall-clock speed and nothing else.
+    hop-table engine, the hop-table engine with coalescing disabled, and
+    the cross-request batch-level engine, and requires *exactly* equal
+    observables — per-request token times, serving metrics, KV pools,
+    executor utilization, and per-channel network statistics. This is the
+    guarantee behind the overhaul: hop groups, the closed-window
+    fast-forward, the vectorized forwarding, and the batch engine's dense
+    arrays and macro-stepping change wall-clock speed and nothing else.
     """
     legacy = _engine_observables(*_run_engine(family, seed, size, "legacy"))
     hop = _engine_observables(*_run_engine(family, seed, size, "hop"))
     perhop = _engine_observables(*_run_engine(family, seed, size, "perhop"))
+    batch = _engine_observables(*_run_engine(family, seed, size, "batch"))
     violations = _compare_observables("hop-vs-legacy", hop, legacy)
     violations.extend(_compare_observables("perhop-vs-legacy", perhop, legacy))
+    violations.extend(_compare_observables("batch-vs-legacy", batch, legacy))
+    return violations
+
+
+def check_batch_engine(
+    family: str, seed: int, size: str = "smoke"
+) -> list[Violation]:
+    """Batch-engine differential for full-config scenario addresses.
+
+    The plain engine matrix (:func:`check_sim_engines`) serves requests
+    and raw churn only; this oracle replays one address through the
+    *complete* harness configuration — detection-mode chaos controllers,
+    elastic residency and autoscaling, tenancy with fair queueing and
+    admission — on the hop-table engine and the batch engine, and
+    requires exactly equal observables (per-tenant token accounting
+    included). Works for every family in
+    :data:`repro.scenarios.generator.ALL_FAMILIES`; the chaos / elastic /
+    tenant families are the ones only this oracle covers.
+    """
+    # Imported lazily: the harness imports this module at load time.
+    from repro.scenarios.generator import generate_scenario
+    from repro.testkit.harness import run_scenario
+
+    runs = {}
+    violations: list[Violation] = []
+    for engine in ("hop", "batch"):
+        report = run_scenario(generate_scenario(family, seed, size), engine)
+        for violation in report.violations:
+            violations.append(Violation(
+                violation.invariant,
+                f"[{engine} engine] {violation.detail}",
+            ))
+        runs[engine] = _engine_observables(report.sim, report.metrics)
+    violations.extend(
+        _compare_observables("batch-vs-hop", runs["batch"], runs["hop"])
+    )
     return violations

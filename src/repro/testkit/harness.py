@@ -79,6 +79,11 @@ class ScenarioReport:
     tenancy: dict | None = None
     violations: list[Violation] = field(default_factory=list)
     fingerprint: str = ""
+    #: The simulation object itself (post-run). Kept so differential
+    #: oracles can compare full engine observables across configurations
+    #: the plain engine matrix cannot express (detection-mode chaos,
+    #: elastic residency, tenancy).
+    sim: Simulation | None = field(default=None, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -141,11 +146,16 @@ def _fingerprint(sim: Simulation, metrics: ServingMetrics) -> str:
     return hashlib.sha256(payload).hexdigest()
 
 
-def run_scenario(scenario: Scenario) -> ScenarioReport:
+def run_scenario(scenario: Scenario, engine: str = "hop") -> ScenarioReport:
     """Play one scenario end-to-end, collecting invariant violations.
 
     The scenario object is consumed: serving and churn mutate its cluster
     (availability, link bandwidths). Regenerate for a second run.
+
+    Args:
+        scenario: The generated scenario to serve.
+        engine: Simulation engine (``"hop"`` or ``"batch"``); every
+            invariant must hold on both.
     """
     report = ScenarioReport(scenario=scenario)
     try:
@@ -214,7 +224,9 @@ def run_scenario(scenario: Scenario) -> ScenarioReport:
         debug_validate=scenario.detection,
         residency=scenario.residency,
         tenancy=scenario.tenancy,
+        engine=engine,
     )
+    report.sim = sim
     auditor = SchedulerAuditor(scheduler, residency=sim.residency)
     kv_sampler = None
     if scenario.tenancy is not None:
@@ -283,7 +295,7 @@ def run_scenario(scenario: Scenario) -> ScenarioReport:
         )
         report.tenancy = {
             "per_tenant": per_tenant,
-            "fairness_index": manager.tracker.fairness_index(end_time),
+            "fairness_index": manager.fairness_index(end_time),
             "starvation_events": len(manager.starvation_events),
             "shed_by_priority": dict(metrics.requests_shed_by_priority),
             "kv_samples": kv_sampler.samples if kv_sampler else 0,

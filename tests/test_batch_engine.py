@@ -1,0 +1,275 @@
+"""The cross-request batch-level engine must match the hop-table engine.
+
+The batch engine (``engine="batch"``) moves hot per-request state into
+dense numpy arrays, advances same-channel decode cohorts with vectorized
+folds, and macro-steps whole decode rounds through the vectorized
+steady-state fast-forward. All of it is specified as *speed only*: these
+tests replay scenarios through both engines and require exactly equal
+observables, including the full-config families the plain engine matrix
+cannot express (detection-mode chaos, elastic residency, tenancy).
+
+``tests/test_sim_equivalence.py`` additionally folds the batch engine
+into the classic 24-address legacy/hop/perhop matrix via
+``check_sim_engines``.
+"""
+
+import pytest
+
+from repro.cluster import A100_40G, Cluster, Profiler
+from repro.core.placement_types import ModelPlacement
+from repro.core.units import GBIT
+from repro.flow.graph import FlowGraph
+from repro.models.specs import ModelSpec
+from repro.scenarios import CHAOS_FAMILY, ELASTIC_FAMILY, TENANT_FAMILY
+from repro.scheduling import HelixScheduler
+from repro.sim import Request, Simulation
+from repro.sim.request import RequestInterner
+from repro.testkit.differential import (
+    _compare_observables,
+    _engine_observables,
+    check_batch_engine,
+)
+
+SEEDS = range(3)
+FULL_CONFIG_MATRIX = [
+    (family, seed)
+    for family in (CHAOS_FAMILY, ELASTIC_FAMILY, TENANT_FAMILY)
+    for seed in SEEDS
+]
+
+
+@pytest.mark.scenario
+@pytest.mark.parametrize(
+    "family,seed", FULL_CONFIG_MATRIX,
+    ids=[f"{f}-{s}" for f, s in FULL_CONFIG_MATRIX],
+)
+def test_batch_engine_matches_on_full_config_address(family, seed):
+    """Chaos / elastic / tenant addresses: exactly equal observables."""
+    violations = check_batch_engine(family, seed, "smoke")
+    assert not violations, "\n".join(str(v) for v in violations)
+
+
+# ----------------------------------------------------------------------
+# Scripted single-pipeline scenarios (the fast-forward regime)
+# ----------------------------------------------------------------------
+def _single_stage_material():
+    """One A100 holding every layer: the diurnal bench's pipeline."""
+    model = ModelSpec(
+        name="batch-tiny-8L", num_layers=8, hidden_size=1024, num_heads=8,
+        num_kv_heads=8, intermediate_size=2816,
+        nominal_params=8 * (4 * 1024**2 + 3 * 1024 * 2816),
+    )
+    cluster = Cluster(name="batch-engine-test")
+    cluster.add_node("a100-0", A100_40G, region="r0")
+    cluster.connect_full_mesh(
+        ["a100-0"], 10 * GBIT, 0.001, include_coordinator=True
+    )
+    cluster.validate()
+    placement = ModelPlacement.from_intervals(8, {"a100-0": (0, 8)})
+    flow = FlowGraph(cluster, model, placement).solve()
+    return cluster, model, placement, flow
+
+
+def _serve(requests, engine, tenancy=None, events=(), **sim_kwargs):
+    cluster, model, placement, flow = _single_stage_material()
+    profiler = Profiler()
+    scheduler = HelixScheduler(
+        cluster, model, placement, profiler, flow=flow,
+        expected_output_len=float(requests[0].output_len),
+    )
+    sim = Simulation(
+        cluster, model, placement, scheduler, list(requests),
+        profiler=profiler, max_time=1e9, seed=0, engine=engine,
+        tenancy=tenancy, **sim_kwargs,
+    )
+    for when, action in events:
+        sim.schedule_event(when, action)
+    metrics = sim.run()
+    return sim, metrics
+
+
+def _assert_engines_agree(requests, tenancy=None, events=()):
+    hop = _serve(requests, "hop", tenancy=tenancy, events=events)
+    batch = _serve(requests, "batch", tenancy=tenancy, events=events)
+    violations = _compare_observables(
+        "batch-vs-hop",
+        _engine_observables(*batch),
+        _engine_observables(*hop),
+    )
+    assert not violations, "\n".join(str(v) for v in violations)
+    return hop[0], batch[0]
+
+
+def test_single_request_trace_macro_steps_almost_everything():
+    # Arrival at t=10 rather than t=0: very close to zero the
+    # extrapolated round guess can diverge from the replayed chain by an
+    # ulp within a few rounds, and the engine (correctly) falls back to
+    # scalar stepping rather than commit an inexact prefix.
+    requests = [Request("solo", 64, 300, 10.0)]
+    _, batch = _assert_engines_agree(requests)
+    # One request on an idle pipeline is one long closed window; all but
+    # the boundary rounds commit through the vectorized fast-forward.
+    assert batch.vec_fast_forwarded_tokens > 250
+    assert batch.record_of("solo").tokens_generated == 300
+
+
+def test_single_request_at_time_zero_still_matches():
+    """The ulp-divergent regime: scalar fallback, still bit-identical."""
+    requests = [Request("solo", 64, 300, 0.0)]
+    _, batch = _assert_engines_agree(requests)
+    assert batch.fast_forwarded_tokens == 299
+
+
+def test_simultaneous_completions_keep_tie_order():
+    """Identical flooded requests finish at the same instant.
+
+    Completion events then tie on time and are ordered by heap sequence
+    number alone; the batch engine's cohort advancement must allocate
+    sequence numbers so ties break exactly as the scalar engine's.
+    """
+    model = ModelSpec(
+        name="batch-twin-8L", num_layers=8, hidden_size=1024, num_heads=8,
+        num_kv_heads=8, intermediate_size=2816,
+        nominal_params=8 * (4 * 1024**2 + 3 * 1024 * 2816),
+    )
+    cluster = Cluster(name="batch-twin-test")
+    cluster.add_node("a100-0", A100_40G, region="r0")
+    cluster.add_node("a100-1", A100_40G, region="r0")
+    cluster.connect_full_mesh(
+        ["a100-0", "a100-1"], 10 * GBIT, 0.001, include_coordinator=True
+    )
+    cluster.validate()
+    # Two identical single-node pipelines: symmetric request halves run
+    # in lockstep on disjoint channels, finishing at the same instants.
+    placement = ModelPlacement.from_intervals(
+        8, {"a100-0": (0, 8), "a100-1": (0, 8)}
+    )
+    flow = FlowGraph(cluster, model, placement).solve()
+    requests = [Request(f"r{i:02d}", 16, 40, 0.0) for i in range(8)]
+    runs = {}
+    for engine in ("hop", "batch"):
+        scheduler = HelixScheduler(
+            cluster, model, placement, flow=flow, expected_output_len=40.0
+        )
+        sim = Simulation(
+            cluster, model, placement, scheduler, list(requests),
+            max_time=1e9, seed=0, engine=engine,
+        )
+        metrics = sim.run()
+        runs[engine] = _engine_observables(sim, metrics)
+    violations = _compare_observables(
+        "batch-vs-hop", runs["batch"], runs["hop"]
+    )
+    assert not violations, "\n".join(str(v) for v in violations)
+    finishes = [row[5] for row in runs["batch"]["records"].values()]
+    assert len(set(finishes)) < len(finishes)  # ties actually occurred
+
+
+def test_mid_macro_step_churn_invalidates_window():
+    """A failure lands inside the fast-forward window: cut and retry."""
+    requests = [Request("victim", 16, 400, 0.0)]
+
+    def fail(sim):
+        sim.fail_node("a100-0")
+        sim.schedule_event(
+            sim.now + 5.0, lambda s: s.restore_node("a100-0")
+        )
+
+    events = [(1.0, fail)]
+    hop, batch = _assert_engines_agree(requests, events=events)
+    assert batch.vec_fast_forwarded_tokens > 0
+    record = batch.record_of("victim")
+    assert record.retries == 1
+    assert record.tokens_generated == 400
+
+
+def test_group_fast_forward_covers_concurrent_closed_windows():
+    """Multiple live requests, all executors idle: the window still forms."""
+    from repro.trace.arrival import diurnal_arrivals
+
+    base = [Request(f"d{i:03d}", 64, 400) for i in range(60)]
+    # Offered load ~0.4: arrivals overlap, so the sole-live-request
+    # trigger of the hop engine never sees most of these windows.
+    trace = diurnal_arrivals(base, 0.4 / 3.16, seed=0)
+    hop, batch = _assert_engines_agree(trace)
+    assert batch.group_fast_forwards > 0
+    assert batch.vec_fast_forwarded_tokens > 10_000
+    assert hop.group_fast_forwards == 0  # hop keeps the PR-5 trigger
+
+
+def test_tenancy_tagged_trace_matches_and_disables_vec_paths():
+    from repro.tenancy import (
+        FairnessConfig, TenancyConfig, TenantRegistry, TenantSpec,
+    )
+
+    def tenancy():
+        return TenancyConfig(
+            TenantRegistry([
+                TenantSpec("alpha", rate_share=2.0),
+                TenantSpec("beta", rate_share=1.0),
+            ]),
+            fairness=FairnessConfig(mode="W", window=1.0),
+        )
+
+    requests = [
+        Request(
+            f"{'alpha' if i % 3 else 'beta'}:{i:02d}", 32, 60,
+            arrival_time=i * 0.4,
+            tenant_id="alpha" if i % 3 else "beta",
+        )
+        for i in range(30)
+    ]
+    hop = _serve(requests, "hop", tenancy=tenancy())
+    batch = _serve(requests, "batch", tenancy=tenancy())
+    violations = _compare_observables(
+        "batch-vs-hop",
+        _engine_observables(*batch),
+        _engine_observables(*hop),
+    )
+    assert not violations, "\n".join(str(v) for v in violations)
+    assert (
+        batch[0].tenancy.tokens_by_tenant == hop[0].tenancy.tokens_by_tenant
+    )
+    # Per-token tenant accounting is order-sensitive; the batch engine
+    # falls back to scalar stepping rather than approximate it.
+    assert batch[0].vectorized_tokens == 0
+    assert batch[0].vec_fast_forwarded_tokens == 0
+
+
+# ----------------------------------------------------------------------
+# Engine plumbing
+# ----------------------------------------------------------------------
+def test_engine_argument_is_validated():
+    from repro.core.errors import SimulationError
+
+    cluster, model, placement, flow = _single_stage_material()
+    scheduler = HelixScheduler(cluster, model, placement, flow=flow)
+    with pytest.raises(SimulationError, match="engine"):
+        Simulation(
+            cluster, model, placement, scheduler,
+            [Request("r", 16, 8)], engine="bogus",
+        )
+
+
+def test_engine_stats_exposes_batch_telemetry():
+    sim, _ = _serve([Request("solo", 64, 300, 0.0)], "batch")
+    stats = sim.engine_stats
+    for key in (
+        "events_popped", "grouped_hops", "fast_forwarded_tokens",
+        "vectorized_tokens", "vec_fast_forwarded_tokens",
+        "group_fast_forwards",
+    ):
+        assert key in stats
+    assert stats["vec_fast_forwarded_tokens"] <= stats["fast_forwarded_tokens"]
+
+
+def test_request_interner_is_stable_and_dense():
+    interner = RequestInterner()
+    assert interner.intern("a") == 0
+    assert interner.intern("b") == 1
+    assert interner.intern("a") == 0  # re-interning returns the old slot
+    assert len(interner) == 2
+    assert "a" in interner and "c" not in interner
+    assert interner.name_of(1) == "b"
+    assert interner.index_of("b") == 1
+    assert interner.index_of("missing") is None

@@ -718,6 +718,30 @@ class TestDisruptionMetrics:
         with pytest.raises(ValueError, match="window"):
             goodput_timeline(times, window=0.0, end_time=3.0)
 
+    def test_goodput_timeline_horizon_end_token_joins_final_bucket(self):
+        # A token emitted exactly at the covered horizon end must land in
+        # the final bucket, not a phantom bucket past the horizon.
+        timeline = goodput_timeline([0.5, 1.5, 3.0], window=1.0, end_time=3.0)
+        assert timeline == [(0.0, 1.0), (1.0, 1.0), (2.0, 1.0)]
+        # Past the horizon (not exactly on it) is still dropped.
+        timeline = goodput_timeline([0.5, 3.25], window=1.0, end_time=3.0)
+        assert timeline == [(0.0, 1.0), (1.0, 0.0), (2.0, 0.0)]
+
+    def test_goodput_timeline_rejects_non_multiple_window(self):
+        # Bucketed token times only reproduce the exact curve when the
+        # window is an integer multiple of the timeline resolution.
+        with pytest.raises(ValueError, match="multiple"):
+            goodput_timeline(
+                [0.1], window=0.75, end_time=3.0, resolution=0.5
+            )
+        with pytest.raises(ValueError, match="resolution"):
+            goodput_timeline(
+                [0.1], window=1.0, end_time=3.0, resolution=0.0
+            )
+        assert goodput_timeline(
+            [0.1], window=1.0, end_time=1.0, resolution=0.5
+        ) == [(0.0, 1.0)]
+
     def test_goodput_timeline_excludes_pre_window_tokens(self):
         # int() truncates toward zero: a token at start-0.5 must not land
         # in bucket 0.

@@ -166,6 +166,17 @@ class TestMetrics:
         assert stats.count == 2
         assert stats.mean == pytest.approx(2.0)
 
+    def test_latency_stats_counts_dropped_nan_samples(self):
+        # NaN samples (lost / unfinished requests) are excluded from the
+        # distribution but not silently forgotten.
+        stats = LatencyStats.from_samples([1.0, float("nan"), 3.0])
+        assert stats.nan_count == 1
+        all_nan = LatencyStats.from_samples([float("nan")] * 3)
+        assert all_nan.count == 0
+        assert all_nan.nan_count == 3
+        assert math.isnan(all_nan.mean)
+        assert LatencyStats.from_samples([1.0, 2.0]).nan_count == 0
+
     def test_request_record_latencies(self):
         record = RequestRecord("r", 10, 3, arrival_time=1.0)
         record.first_token_time = 2.0

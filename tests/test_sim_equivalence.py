@@ -6,8 +6,10 @@ event loop. These tests enforce that specification:
 
 * the differential oracle replays every tier-1 scenario address (all 4
   families x 6 seeds, churny addresses included) through the legacy
-  engine, the hop-table engine, and the hop-table engine with coalescing
-  disabled, and requires exactly equal observables;
+  engine, the hop-table engine, the hop-table engine with coalescing
+  disabled, and the cross-request batch-level engine, and requires
+  exactly equal observables (``tests/test_batch_engine.py`` extends the
+  batch engine's coverage to the chaos / elastic / tenant families);
 * a scripted closed-window scenario proves the fast-forward engages and
   that a churn event lands mid-window, forcing invalidation (the window
   re-materializes its in-flight hop and falls back to stepping);
@@ -42,7 +44,7 @@ MATRIX = [
     "family,seed", MATRIX, ids=[f"{f}-{s}" for f, s in MATRIX]
 )
 def test_engines_agree_on_matrix_address(family, seed):
-    """Legacy vs. hop-table vs. per-hop: exactly equal observables."""
+    """Legacy vs. hop-table vs. per-hop vs. batch: equal observables."""
     violations = check_sim_engines(family, seed, "smoke")
     assert not violations, "\n".join(str(v) for v in violations)
 

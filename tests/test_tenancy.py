@@ -118,6 +118,31 @@ class TestFairness:
         assert jain_index([1.0, 0.0, 0.0]) == pytest.approx(1.0 / 3.0)
         assert jain_index([]) == 1.0
 
+    def test_jain_index_all_zero_idle_vs_starved(self):
+        # All-zero service is ambiguous: an idle system is vacuously
+        # fair, a backlogged one is maximally unfair. ``any_demand``
+        # disambiguates — this is what keeps the starvation-watchdog
+        # contrast honest (the priority-only control must not score 1.0
+        # while a tenant starves with queued work).
+        assert jain_index([0.0, 0.0]) == 1.0
+        assert jain_index([0.0, 0.0], any_demand=True) == pytest.approx(0.5)
+        assert jain_index([0.0] * 4, any_demand=True) == pytest.approx(0.25)
+
+    def test_tracker_fairness_index_starved_backlog_scores_minimum(self):
+        config = FairnessConfig(mode="W", window=1.0, backlog_windows=4)
+        tracker = WindowedFairnessTracker(config, {"a": 0.5, "b": 0.5})
+        # Nothing served, nothing queued: vacuously fair.
+        assert tracker.fairness_index(5.0) == 1.0
+        # Nothing served with both tenants backlogged: total starvation.
+        assert tracker.fairness_index(5.0, backlogged=("a", "b")) == (
+            pytest.approx(0.5)
+        )
+        # One tenant served, the other starved with queued demand: the
+        # starved tenant participates with ratio 0 instead of vanishing.
+        tracker.note("a", 4.5, 10.0)
+        starved = tracker.fairness_index(5.0, backlogged=("b",))
+        assert starved == pytest.approx(0.5)
+
     def test_window_accounting_and_span_split(self):
         config = FairnessConfig(mode="T", window=1.0, backlog_windows=2)
         tracker = WindowedFairnessTracker(config, {"a": 0.5, "b": 0.5})
