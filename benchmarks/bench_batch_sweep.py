@@ -1,129 +1,30 @@
 """Nightly batch-engine sweep: equivalence soak + the 100k diurnal case.
 
-Tier-1 proves the cross-request batch engine observable-equal to the
-hop-table engine on the 24-address classic matrix plus three seeds each
-of chaos / elastic / tenant; this script is the many-seed soak the
-scheduled CI job runs, plus the PR's headline perf experiment:
+Thin wrapper over the ``batch-sweep`` experiment in :mod:`repro.exp` —
+the all-families equivalence grid, the diurnal perf headline cell,
+process-parallel execution (``--workers``), content-hash resume, and the
+tokens/s headline aggregation all live there; this script only preserves
+the historical CLI. Equivalent to::
 
-* every family in ``ALL_FAMILIES`` (the classic four plus chaos,
-  elastic, tenant) across ``--seeds`` seeds at ``--size``, each address
-  replayed through the full harness configuration (detection-mode
-  controllers, residency/autoscaling, tenancy) on both engines with
-  *exact* observable equality required — per-request token times, KV
-  pools, executor and channel statistics, per-tenant token accounting;
-* the **diurnal** perf case at ``--diurnal-tier`` (nightly default:
-  ``large`` — 100,000 requests spanning simulated months) on the
-  hop-table and batch engines, recording simulated-tokens-per-
-  wall-second and asserting equal token counts. The headline target is
-  >=1M tokens/wall-second on the batch engine;
-* a JSON report with per-address status; every failing address carries
-  its violations and an exact one-line repro command, so the uploaded
-  artifact pins failing seeds.
+    PYTHONPATH=src python -m repro.exp run batch-sweep \
+        [--workers 8] [--seeds 10] [--size full] [--diurnal-tier large] \
+        [--output benchmarks/results/batch_sweep.json] \
+        [--headline-out BENCH_batch.json]
 
 Exit status is 1 when any address fails (0 = clean sweep), so CI fails
-the job and uploads the failing-seed artifact.
-
-Run: ``PYTHONPATH=src python benchmarks/bench_batch_sweep.py
-[--seeds 10] [--size full] [--diurnal-tier large]
-[--output benchmarks/results/batch_sweep.json]
-[--headline-out BENCH_batch.json]``
+the job and uploads the failing-seed artifact. Re-invoking after a kill
+resumes from the per-cell records under ``benchmarks/results/exp``.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
-import time
-import traceback
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-from repro.bench.perftrack import PerfTracker  # noqa: E402
-from repro.bench.simbench import bench_sim_diurnal  # noqa: E402
-from repro.scenarios import ALL_FAMILIES  # noqa: E402
-from repro.testkit import check_batch_engine  # noqa: E402
-from repro.testkit.invariants import Violation  # noqa: E402
-
-
-def _repro(family: str, seed: int, size: str) -> str:
-    return (
-        "PYTHONPATH=src python -c \"from repro.testkit import "
-        "check_batch_engine; [print(v) for v in "
-        f"check_batch_engine('{family}', {seed}, '{size}')]\""
-    )
-
-
-def sweep(seeds: int, size: str, diurnal_tier: str) -> dict:
-    """Run the batch-engine sweep; returns the JSON-serializable report."""
-    rows = []
-    failures = 0
-    started = time.perf_counter()
-    for family in ALL_FAMILIES:
-        for seed in range(seeds):
-            t0 = time.perf_counter()
-            # A crash in one address must not abort the sweep: convert it
-            # to a violation so the report (and its repro command) still
-            # lands in the artifact.
-            try:
-                violations = check_batch_engine(family, seed, size)
-            except Exception:
-                violations = [Violation(
-                    "sweep_crash",
-                    f"unhandled exception:\n{traceback.format_exc()}",
-                )]
-            row = {
-                "family": family,
-                "seed": seed,
-                "size": size,
-                "ok": not violations,
-                "seconds": round(time.perf_counter() - t0, 3),
-                "repro": _repro(family, seed, size),
-            }
-            if violations:
-                failures += 1
-                row["violations"] = [
-                    {"invariant": v.invariant, "detail": v.detail}
-                    for v in violations
-                ]
-                print(f"FAIL {family}/{seed}: {len(violations)} violations")
-                for v in violations[:5]:
-                    print(f"  {v}")
-                print(f"  reproduce: {row['repro']}")
-            else:
-                print(f"ok   {family}/{seed} {row['seconds']}s")
-            rows.append(row)
-
-    tracker = PerfTracker(label=f"batch-sweep-{diurnal_tier}")
-    diurnal = bench_sim_diurnal(tracker, diurnal_tier)
-    prefix = f"sim_diurnal_{diurnal_tier}"
-    headline = {
-        "addresses": len(rows),
-        "failures": failures,
-        "diurnal_tier": diurnal_tier,
-        "diurnal_batch_tokens_per_s": round(
-            diurnal[f"{prefix}_batch_tokens_per_s"], 1
-        ),
-        "diurnal_hop_table_tokens_per_s": round(
-            diurnal[f"{prefix}_hop_table_tokens_per_s"], 1
-        ),
-        "diurnal_batch_vs_hop": round(diurnal[f"{prefix}_batch_vs_hop"], 3),
-        "diurnal_span_days": round(diurnal[f"{prefix}_span_days"], 2),
-    }
-    return {
-        "families": list(ALL_FAMILIES),
-        "size": size,
-        "seeds": seeds,
-        "failures": failures,
-        "failing_addresses": [
-            {"family": r["family"], "seed": r["seed"], "repro": r["repro"]}
-            for r in rows if not r["ok"]
-        ],
-        "headline": headline,
-        "wall_seconds": round(time.perf_counter() - started, 3),
-        "results": rows,
-    }
+from repro.exp.__main__ import main as exp_main  # noqa: E402
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -136,6 +37,10 @@ def main(argv: list[str] | None = None) -> int:
         choices=("small", "medium", "large"),
         help="diurnal perf tier (large = the 100k-request nightly case)",
     )
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (1 = inline)")
+    parser.add_argument("--force", action="store_true",
+                        help="re-execute cells even if their records exist")
     parser.add_argument(
         "--output",
         default="benchmarks/results/batch_sweep.json",
@@ -147,33 +52,19 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    report = sweep(args.seeds, args.size, args.diurnal_tier)
-    out = Path(args.output)
-    out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(json.dumps(report, indent=2) + "\n")
+    forwarded = [
+        "run", "batch-sweep",
+        "--seeds", str(args.seeds),
+        "--size", args.size,
+        "--diurnal-tier", args.diurnal_tier,
+        "--workers", str(args.workers),
+        "--output", args.output,
+    ]
     if args.headline_out:
-        headline_doc = {
-            "bench": "batch_sweep",
-            "size": report["size"],
-            "seeds": report["seeds"],
-            "derived": report["headline"],
-        }
-        Path(args.headline_out).write_text(
-            json.dumps(headline_doc, indent=2) + "\n"
-        )
-    head = report["headline"]
-    print(
-        f"\n{len(report['results'])} addresses, "
-        f"{report['failures']} failing, "
-        f"{report['wall_seconds']}s -> {out}"
-    )
-    print(
-        f"headline: diurnal({head['diurnal_tier']}) batch "
-        f"{head['diurnal_batch_tokens_per_s']:,.0f} tok/s "
-        f"({head['diurnal_batch_vs_hop']}x hop, "
-        f"{head['diurnal_span_days']} simulated days)"
-    )
-    return 1 if report["failures"] else 0
+        forwarded += ["--headline-out", args.headline_out]
+    if args.force:
+        forwarded.append("--force")
+    return exp_main(forwarded)
 
 
 if __name__ == "__main__":

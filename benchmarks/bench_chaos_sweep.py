@@ -1,158 +1,29 @@
 """Nightly chaos sweep: gray-failure scenarios with detection, many seeds.
 
-Tier-1 runs a three-seed slice of the chaos family (see
-``tests/test_chaos.py``); this script is the many-seed soak the scheduled
-CI job runs:
+Thin wrapper over the ``chaos-sweep`` experiment in :mod:`repro.exp` —
+the seeded grid, process-parallel execution (``--workers``),
+content-hash resume, and the MTTD/MTTR headline aggregation all live
+there; this script only preserves the historical CLI. Equivalent to::
 
-* every seed in ``--seeds`` of the ``chaos`` family at ``--size``, each
-  address verified end-to-end (invariants incl. request conservation,
-  per-seed determinism, the flow differential oracle);
-* headline robustness numbers aggregated across the sweep — MTTD
-  mean/max, MTTR (time until goodput regained its recovery threshold),
-  detector false positives, shed/lost rates — written both into the
-  report and (``--headline-out``) as a small standalone JSON for perf
-  tracking;
-* a JSON report with per-address status; every failing address carries
-  its violations and the exact one-line repro command. Crashes inside
-  one address are converted to violations, so the sweep always finishes
-  and always writes its report.
+    PYTHONPATH=src python -m repro.exp run chaos-sweep \
+        [--workers 8] [--seeds 25] [--size full] \
+        [--output benchmarks/results/chaos_sweep.json] \
+        [--headline-out BENCH_chaos.json]
 
 Exit status is 1 when any address fails (0 = clean sweep), so CI fails
-the job and uploads the failing-seed artifact.
-
-Run: ``PYTHONPATH=src python benchmarks/bench_chaos_sweep.py
-[--seeds 25] [--size full]
-[--output benchmarks/results/chaos_sweep.json]
-[--headline-out BENCH_chaos.json]``
+the job and uploads the failing-seed artifact. Re-invoking after a kill
+resumes from the per-cell records under ``benchmarks/results/exp``.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
-import math
 import sys
-import time
-import traceback
 from pathlib import Path
 
-from repro.scenarios import CHAOS_FAMILY
-from repro.testkit import verify_scenario
-from repro.testkit.invariants import Violation
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-
-def _mean(samples: list[float]) -> float | None:
-    return round(sum(samples) / len(samples), 4) if samples else None
-
-
-def sweep(seeds: int, size: str) -> dict:
-    """Run the chaos sweep; returns the JSON-serializable report."""
-    rows = []
-    failures = 0
-    mttd_means: list[float] = []
-    mttd_maxes: list[float] = []
-    mttr_samples: list[float] = []
-    recovery_ratios: list[float] = []
-    false_positives = 0
-    shed = lost = submitted = finished = 0
-    started = time.perf_counter()
-    for seed in range(seeds):
-        t0 = time.perf_counter()
-        repro = (
-            "PYTHONPATH=src python -m repro.testkit "
-            f"{CHAOS_FAMILY} {seed} --size {size}"
-        )
-        detections = {}
-        # A crash in one address must not abort the sweep: convert it to
-        # a violation so the report (and its repro command) still lands
-        # in the artifact.
-        try:
-            report = verify_scenario(
-                CHAOS_FAMILY, seed, size,
-                determinism=True, flow_differential=True,
-            )
-            violations = list(report.violations)
-            repro = report.scenario.repro_command()
-            metrics = report.metrics
-            if metrics is not None:
-                shed += metrics.requests_shed
-                lost += metrics.requests_lost
-                submitted += metrics.requests_submitted
-                finished += metrics.requests_finished
-            disruption = report.disruption
-            if disruption is not None:
-                false_positives += disruption.false_positives
-                detections = {
-                    "mttd_mean_s": None,
-                    "false_positives": disruption.false_positives,
-                }
-                if not math.isnan(disruption.mttd_mean):
-                    mttd_means.append(disruption.mttd_mean)
-                    mttd_maxes.append(disruption.mttd_max)
-                    detections["mttd_mean_s"] = round(
-                        disruption.mttd_mean, 4
-                    )
-                if not math.isnan(disruption.time_to_recovery):
-                    mttr_samples.append(disruption.time_to_recovery)
-                if not math.isnan(disruption.recovery_ratio):
-                    recovery_ratios.append(disruption.recovery_ratio)
-        except Exception:
-            violations = [Violation(
-                "sweep_crash",
-                f"unhandled exception:\n{traceback.format_exc()}",
-            )]
-        row = {
-            "family": CHAOS_FAMILY,
-            "seed": seed,
-            "size": size,
-            "ok": not violations,
-            "seconds": round(time.perf_counter() - t0, 3),
-            "repro": repro,
-            **detections,
-        }
-        if violations:
-            failures += 1
-            row["violations"] = [
-                {"invariant": v.invariant, "detail": v.detail}
-                for v in violations
-            ]
-            print(f"FAIL {CHAOS_FAMILY}/{seed}: {len(violations)} violations")
-            for v in violations:
-                print(f"  {v}")
-            print(f"  reproduce: {row['repro']}")
-        else:
-            print(f"ok   {CHAOS_FAMILY}/{seed} {row['seconds']}s")
-        rows.append(row)
-
-    headline = {
-        "addresses": len(rows),
-        "failures": failures,
-        "addresses_with_detections": len(mttd_means),
-        "mttd_mean_s": _mean(mttd_means),
-        "mttd_max_s": round(max(mttd_maxes), 4) if mttd_maxes else None,
-        "mttr_mean_s": _mean(mttr_samples),
-        "recovery_ratio_mean": _mean(recovery_ratios),
-        "false_positives": false_positives,
-        "requests_submitted": submitted,
-        "requests_finished": finished,
-        "requests_shed": shed,
-        "requests_lost": lost,
-        "shed_rate": round(shed / submitted, 6) if submitted else None,
-        "lost_rate": round(lost / submitted, 6) if submitted else None,
-    }
-    return {
-        "family": CHAOS_FAMILY,
-        "size": size,
-        "seeds": seeds,
-        "failures": failures,
-        "failing_addresses": [
-            {"family": r["family"], "seed": r["seed"], "repro": r["repro"]}
-            for r in rows if not r["ok"]
-        ],
-        "headline": headline,
-        "wall_seconds": round(time.perf_counter() - started, 3),
-        "results": rows,
-    }
+from repro.exp.__main__ import main as exp_main  # noqa: E402
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -160,6 +31,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seeds", type=int, default=25,
                         help="chaos seeds to sweep (0..N-1)")
     parser.add_argument("--size", default="full", choices=("smoke", "full"))
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (1 = inline)")
+    parser.add_argument("--force", action="store_true",
+                        help="re-execute cells even if their records exist")
     parser.add_argument(
         "--output",
         default="benchmarks/results/chaos_sweep.json",
@@ -171,33 +46,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    report = sweep(args.seeds, args.size)
-    out = Path(args.output)
-    out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(json.dumps(report, indent=2) + "\n")
+    forwarded = [
+        "run", "chaos-sweep",
+        "--seeds", str(args.seeds),
+        "--size", args.size,
+        "--workers", str(args.workers),
+        "--output", args.output,
+    ]
     if args.headline_out:
-        headline_doc = {
-            "bench": "chaos_sweep",
-            "size": report["size"],
-            "seeds": report["seeds"],
-            "derived": report["headline"],
-        }
-        Path(args.headline_out).write_text(
-            json.dumps(headline_doc, indent=2) + "\n"
-        )
-    print(
-        f"\n{len(report['results'])} addresses, "
-        f"{report['failures']} failing, "
-        f"{report['wall_seconds']}s -> {out}"
-    )
-    head = report["headline"]
-    print(
-        f"headline: mttd_mean={head['mttd_mean_s']}s "
-        f"mttr_mean={head['mttr_mean_s']}s "
-        f"false_positives={head['false_positives']} "
-        f"shed_rate={head['shed_rate']} lost_rate={head['lost_rate']}"
-    )
-    return 1 if report["failures"] else 0
+        forwarded += ["--headline-out", args.headline_out]
+    if args.force:
+        forwarded.append("--force")
+    return exp_main(forwarded)
 
 
 if __name__ == "__main__":

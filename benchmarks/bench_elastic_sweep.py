@@ -1,292 +1,31 @@
 """Nightly elastic sweep: residency, drains, autoscaling across many seeds.
 
-Tier-1 runs a three-seed slice of the elastic family (see
-``tests/test_elastic.py``); this script is the many-seed soak the
-scheduled CI job runs, plus the PR's headline experiment:
+Thin wrapper over the ``elastic-sweep`` experiment in :mod:`repro.exp` —
+the seeded grid, the warm-vs-cold spare-recovery contrast cells (see
+:func:`repro.exp.cells.spare_recovery_cell`), process-parallel execution
+(``--workers``), content-hash resume, and the elasticity headline
+aggregation all live there; this script only preserves the historical
+CLI. Equivalent to::
 
-* every seed in ``--seeds`` of the ``elastic`` family at ``--size``, each
-  address verified end-to-end (invariants incl. zero-loss drains and
-  never-route-through-nonresident-layers, per-seed determinism, the flow
-  differential oracle);
-* a controlled **warm-vs-cold spare recovery** experiment — kill the sole
-  holder of the bottom layers, rejoin an idle spare, and measure MTTR
-  with the spare's layers pre-staged vs pulled cold through the serving
-  links — reported as ``mttr_warm_s`` / ``mttr_cold_s`` plus the goodput
-  dip while the cold spare's weight transfer contends with inference
-  traffic;
-* headline elasticity numbers aggregated across the sweep — warm-up
-  count/seconds/bytes, drains, autoscaler actions, MTTR where the churn
-  disrupted goodput — written both into the report and
-  (``--headline-out``) as a small standalone JSON for perf tracking;
-* a JSON report with per-address status; every failing address carries
-  its violations and the exact one-line repro command. Crashes inside
-  one address are converted to violations, so the sweep always finishes
-  and always writes its report.
+    PYTHONPATH=src python -m repro.exp run elastic-sweep \
+        [--workers 8] [--seeds 25] [--size full] \
+        [--output benchmarks/results/elastic_sweep.json] \
+        [--headline-out BENCH_elastic.json]
 
 Exit status is 1 when any address fails (0 = clean sweep), so CI fails
-the job and uploads the failing-seed artifact.
-
-Run: ``PYTHONPATH=src python benchmarks/bench_elastic_sweep.py
-[--seeds 25] [--size full]
-[--output benchmarks/results/elastic_sweep.json]
-[--headline-out BENCH_elastic.json]``
+the job and uploads the failing-seed artifact. Re-invoking after a kill
+resumes from the per-cell records under ``benchmarks/results/exp``.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
-import math
 import sys
-import time
-import traceback
 from pathlib import Path
 
-from repro.cluster import A100_40G, Cluster, T4
-from repro.core.placement_types import ModelPlacement
-from repro.core.units import GBIT
-from repro.flow.graph import FlowGraph
-from repro.models.specs import ModelSpec
-from repro.online import NodeFailure, NodeRecovery, OnlineController
-from repro.scenarios import ELASTIC_FAMILY
-from repro.scheduling import HelixScheduler
-from repro.sim import Request, ResidencyConfig, Simulation
-from repro.testkit import verify_scenario
-from repro.testkit.invariants import Violation
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-
-def _mean(samples: list[float]) -> float | None:
-    return round(sum(samples) / len(samples), 4) if samples else None
-
-
-# ----------------------------------------------------------------------
-# Warm-vs-cold spare recovery (the PR's headline experiment)
-# ----------------------------------------------------------------------
-def _spare_recovery(warm: bool) -> dict:
-    """Kill the sole holder of layers [0, 6); a spare rejoins 1 s later.
-
-    The two T4s hold 6 layers each of a model whose per-layer footprint a
-    T4 cannot absorb more of, so the repaired placement *must* use the
-    restored A100 spare — warm (layers pre-staged) or cold (pulled
-    through the same 10 Gb/s links the inference traffic uses).
-    """
-    model = ModelSpec(
-        name="elastic-wide-12L",
-        num_layers=12,
-        hidden_size=6656,
-        num_heads=52,
-        num_kv_heads=52,
-        intermediate_size=17920,
-    )
-    cluster = Cluster(name="bench-elastic-spare")
-    cluster.add_node("t4-0", T4, region="region-0")
-    cluster.add_node("t4-1", T4, region="region-0")
-    cluster.add_node("spare-0", A100_40G, region="region-0")
-    cluster.connect_full_mesh(
-        ["t4-0", "t4-1", "spare-0"], 10 * GBIT, 0.001,
-        include_coordinator=True,
-    )
-    cluster.set_node_available("spare-0", False)
-    cluster.validate()
-    placement = ModelPlacement.from_intervals(
-        12, {"t4-0": (0, 6), "t4-1": (6, 12)}
-    )
-    requests = [
-        Request(f"r{i}", 16, 4, arrival_time=i * 0.1) for i in range(300)
-    ]
-    controller = OnlineController(
-        model,
-        events=[NodeFailure(6.0, "t4-0"), NodeRecovery(7.0, "spare-0")],
-        replan=True,
-        replan_lns_rounds=0,
-    )
-    config = ResidencyConfig(
-        warm={"spare-0": (0, 12)} if warm else {},
-        layer_bytes=5e8,
-        warm_bonus=1.0,
-    )
-    flow = FlowGraph(cluster, model, placement).solve()
-    scheduler = HelixScheduler(cluster, model, placement, flow=flow)
-    sim = Simulation(
-        cluster, model, placement, scheduler, requests,
-        max_time=60.0, seed=0, controller=controller, residency=config,
-    )
-    metrics = sim.run()
-    report = controller.report(sim, window=0.5)
-
-    # Goodput during the weight-transfer window, relative to pre-fault:
-    # the dip inference traffic pays while layer pulls share its links.
-    dip = None
-    warmups = [
-        r for r in sim.residency.warmup_log if r.node_id == "spare-0"
-    ]
-    if warmups and not math.isnan(report.pre_disruption_goodput):
-        t0 = warmups[0].started
-        t1 = t0 + warmups[0].duration
-        window = [
-            rate for start, rate in report.timeline
-            if t0 <= start < t1
-        ]
-        if window and report.pre_disruption_goodput > 0:
-            dip = round(
-                min(window) / report.pre_disruption_goodput, 4
-            )
-    return {
-        "mttr_s": round(report.mttr, 4) if not math.isnan(report.mttr) else None,
-        "warmups": len(sim.residency.warmup_log),
-        "warmup_seconds": round(
-            sum(r.duration for r in sim.residency.warmup_log), 4
-        ),
-        "warmup_bytes": int(
-            sum(r.bytes_pulled for r in sim.residency.warmup_log)
-        ),
-        "goodput_dip_ratio": dip,
-        "requests_finished": metrics.requests_finished,
-    }
-
-
-def warm_vs_cold() -> dict:
-    warm = _spare_recovery(warm=True)
-    cold = _spare_recovery(warm=False)
-    speedup = None
-    if warm["mttr_s"] and cold["mttr_s"]:
-        speedup = round(cold["mttr_s"] / warm["mttr_s"], 4)
-    return {
-        "warm": warm,
-        "cold": cold,
-        "mttr_warm_s": warm["mttr_s"],
-        "mttr_cold_s": cold["mttr_s"],
-        "cold_over_warm_mttr": speedup,
-        # The dip the cold rejoin's weight transfer carves out of serving
-        # goodput (min windowed rate / pre-fault rate; lower = deeper).
-        "goodput_dip_ratio_cold": cold["goodput_dip_ratio"],
-    }
-
-
-# ----------------------------------------------------------------------
-# The seeded sweep
-# ----------------------------------------------------------------------
-def sweep(seeds: int, size: str) -> dict:
-    """Run the elastic sweep; returns the JSON-serializable report."""
-    rows = []
-    failures = 0
-    mttr_samples: list[float] = []
-    recovery_ratios: list[float] = []
-    warmups = drains = scale_ups = scale_downs = 0
-    warmup_seconds = 0.0
-    warmup_bytes = 0
-    shed = lost = submitted = finished = 0
-    started = time.perf_counter()
-    for seed in range(seeds):
-        t0 = time.perf_counter()
-        repro = (
-            "PYTHONPATH=src python -m repro.testkit "
-            f"{ELASTIC_FAMILY} {seed} --size {size}"
-        )
-        elasticity = {}
-        # A crash in one address must not abort the sweep: convert it to
-        # a violation so the report (and its repro command) still lands
-        # in the artifact.
-        try:
-            report = verify_scenario(
-                ELASTIC_FAMILY, seed, size,
-                determinism=True, flow_differential=True,
-            )
-            violations = list(report.violations)
-            repro = report.scenario.repro_command()
-            metrics = report.metrics
-            if metrics is not None:
-                shed += metrics.requests_shed
-                lost += metrics.requests_lost
-                submitted += metrics.requests_submitted
-                finished += metrics.requests_finished
-            if report.elasticity is not None:
-                warmups += report.elasticity["warmups"]
-                warmup_seconds += report.elasticity["warmup_seconds_total"]
-                warmup_bytes += report.elasticity["warmup_bytes_total"]
-                drains += report.elasticity["drains"]
-                actions = report.elasticity["autoscaler_actions"]
-                scale_ups += sum(1 for _, a, _ in actions if a == "add")
-                scale_downs += sum(1 for _, a, _ in actions if a == "drain")
-                elasticity = {
-                    "warmups": report.elasticity["warmups"],
-                    "drains": report.elasticity["drains"],
-                    "autoscaler_actions": len(actions),
-                }
-            disruption = report.disruption
-            if disruption is not None:
-                if not math.isnan(disruption.mttr):
-                    mttr_samples.append(disruption.mttr)
-                    elasticity["mttr_s"] = round(disruption.mttr, 4)
-                if not math.isnan(disruption.recovery_ratio):
-                    recovery_ratios.append(disruption.recovery_ratio)
-        except Exception:
-            violations = [Violation(
-                "sweep_crash",
-                f"unhandled exception:\n{traceback.format_exc()}",
-            )]
-        row = {
-            "family": ELASTIC_FAMILY,
-            "seed": seed,
-            "size": size,
-            "ok": not violations,
-            "seconds": round(time.perf_counter() - t0, 3),
-            "repro": repro,
-            **elasticity,
-        }
-        if violations:
-            failures += 1
-            row["violations"] = [
-                {"invariant": v.invariant, "detail": v.detail}
-                for v in violations
-            ]
-            print(
-                f"FAIL {ELASTIC_FAMILY}/{seed}: {len(violations)} violations"
-            )
-            for v in violations:
-                print(f"  {v}")
-            print(f"  reproduce: {row['repro']}")
-        else:
-            print(f"ok   {ELASTIC_FAMILY}/{seed} {row['seconds']}s")
-        rows.append(row)
-
-    recovery = warm_vs_cold()
-    headline = {
-        "addresses": len(rows),
-        "failures": failures,
-        "warmups": warmups,
-        "warmup_seconds_total": round(warmup_seconds, 4),
-        "warmup_gbytes_total": round(warmup_bytes / 1e9, 3),
-        "drains": drains,
-        "autoscaler_scale_ups": scale_ups,
-        "autoscaler_scale_downs": scale_downs,
-        "mttr_mean_s": _mean(mttr_samples),
-        "recovery_ratio_mean": _mean(recovery_ratios),
-        "mttr_warm_s": recovery["mttr_warm_s"],
-        "mttr_cold_s": recovery["mttr_cold_s"],
-        "cold_over_warm_mttr": recovery["cold_over_warm_mttr"],
-        "goodput_dip_ratio_cold": recovery["goodput_dip_ratio_cold"],
-        "requests_submitted": submitted,
-        "requests_finished": finished,
-        "requests_shed": shed,
-        "requests_lost": lost,
-        "shed_rate": round(shed / submitted, 6) if submitted else None,
-        "lost_rate": round(lost / submitted, 6) if submitted else None,
-    }
-    return {
-        "family": ELASTIC_FAMILY,
-        "size": size,
-        "seeds": seeds,
-        "failures": failures,
-        "failing_addresses": [
-            {"family": r["family"], "seed": r["seed"], "repro": r["repro"]}
-            for r in rows if not r["ok"]
-        ],
-        "headline": headline,
-        "warm_vs_cold": recovery,
-        "wall_seconds": round(time.perf_counter() - started, 3),
-        "results": rows,
-    }
+from repro.exp.__main__ import main as exp_main  # noqa: E402
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -294,6 +33,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seeds", type=int, default=25,
                         help="elastic seeds to sweep (0..N-1)")
     parser.add_argument("--size", default="full", choices=("smoke", "full"))
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (1 = inline)")
+    parser.add_argument("--force", action="store_true",
+                        help="re-execute cells even if their records exist")
     parser.add_argument(
         "--output",
         default="benchmarks/results/elastic_sweep.json",
@@ -305,35 +48,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    report = sweep(args.seeds, args.size)
-    out = Path(args.output)
-    out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(json.dumps(report, indent=2) + "\n")
+    forwarded = [
+        "run", "elastic-sweep",
+        "--seeds", str(args.seeds),
+        "--size", args.size,
+        "--workers", str(args.workers),
+        "--output", args.output,
+    ]
     if args.headline_out:
-        headline_doc = {
-            "bench": "elastic_sweep",
-            "size": report["size"],
-            "seeds": report["seeds"],
-            "derived": report["headline"],
-        }
-        Path(args.headline_out).write_text(
-            json.dumps(headline_doc, indent=2) + "\n"
-        )
-    print(
-        f"\n{len(report['results'])} addresses, "
-        f"{report['failures']} failing, "
-        f"{report['wall_seconds']}s -> {out}"
-    )
-    head = report["headline"]
-    print(
-        f"headline: mttr_warm={head['mttr_warm_s']}s "
-        f"mttr_cold={head['mttr_cold_s']}s "
-        f"(x{head['cold_over_warm_mttr']}) "
-        f"dip={head['goodput_dip_ratio_cold']} "
-        f"warmups={head['warmups']} drains={head['drains']} "
-        f"scale_ups={head['autoscaler_scale_ups']}"
-    )
-    return 1 if report["failures"] else 0
+        forwarded += ["--headline-out", args.headline_out]
+    if args.force:
+        forwarded.append("--force")
+    return exp_main(forwarded)
 
 
 if __name__ == "__main__":

@@ -1,118 +1,30 @@
 """Extended scenario sweep: the full verification matrix, many seeds.
 
-Tier-1 runs a smoke-sized slice of the matrix (see
-``tests/test_scenario_sweep.py``); this script is the many-seed sweep the
-scheduled CI job runs and developers use to soak a change:
+Thin wrapper over the ``scenario-sweep`` experiment in
+:mod:`repro.exp` — the grid expansion, process-parallel execution
+(``--workers``), content-hash resume, and report aggregation all live
+there; this script only preserves the historical CLI. Equivalent to::
 
-* every family x every seed in ``--seeds``, at ``--size`` (default
-  ``full``), with determinism and the flow differential oracle;
-* optionally (``--milp-oracles``) the MILP differential oracles on every
-  address;
-* a JSON report with per-address status; every failing address carries
-  its violations and the exact one-line repro command. Crashes inside
-  one address are converted to violations, so the sweep always finishes
-  and always writes its report.
+    PYTHONPATH=src python -m repro.exp run scenario-sweep \
+        [--workers 8] [--seeds 20] [--size full] [--milp-oracles] \
+        [--families full_mesh geo_regions] \
+        [--output benchmarks/results/scenario_sweep.json]
 
 Exit status is 1 when any address fails (0 = clean sweep), so CI fails
-the job and uploads the failing-seed artifact.
-
-Run: ``PYTHONPATH=src python benchmarks/bench_scenario_sweep.py
-[--seeds 20] [--size full] [--families full_mesh geo_regions]
-[--milp-oracles] [--output benchmarks/results/scenario_sweep.json]``
+the job and uploads the failing-seed artifact. Re-invoking after a kill
+resumes from the per-cell records under ``benchmarks/results/exp``.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
-import time
 from pathlib import Path
 
-import traceback
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-from repro.scenarios import SCENARIO_FAMILIES
-from repro.testkit import check_milp_oracles, verify_scenario
-from repro.testkit.invariants import Violation
-
-
-def sweep(
-    families: list[str],
-    seeds: int,
-    size: str,
-    milp_oracles: bool,
-) -> dict:
-    """Run the sweep; returns the JSON-serializable report."""
-    rows = []
-    failures = 0
-    started = time.perf_counter()
-    for family in families:
-        for seed in range(seeds):
-            t0 = time.perf_counter()
-            planner = "?"
-            planned = 0.0
-            repro = (
-                "PYTHONPATH=src python -m repro.testkit "
-                f"{family} {seed} --size {size}"
-            )
-            # A crash in one address must not abort the sweep: convert it
-            # to a violation so the report (and its repro command) still
-            # lands in the artifact.
-            try:
-                report = verify_scenario(
-                    family, seed, size,
-                    determinism=True, flow_differential=True,
-                )
-                violations = list(report.violations)
-                planner = report.planner_used
-                planned = report.planned_throughput
-                repro = report.scenario.repro_command()
-                if milp_oracles:
-                    violations += check_milp_oracles(family, seed, size)
-            except Exception:
-                violations = [Violation(
-                    "sweep_crash",
-                    f"unhandled exception:\n{traceback.format_exc()}",
-                )]
-            row = {
-                "family": family,
-                "seed": seed,
-                "size": size,
-                "ok": not violations,
-                "planner": planner,
-                "planned_throughput": planned,
-                "seconds": round(time.perf_counter() - t0, 3),
-                "repro": repro,
-            }
-            if violations:
-                failures += 1
-                row["violations"] = [
-                    {"invariant": v.invariant, "detail": v.detail}
-                    for v in violations
-                ]
-                print(f"FAIL {family}/{seed}: {len(violations)} violations")
-                for v in violations:
-                    print(f"  {v}")
-                print(f"  reproduce: {row['repro']}")
-            else:
-                print(
-                    f"ok   {family}/{seed} planner={row['planner']} "
-                    f"{row['seconds']}s"
-                )
-            rows.append(row)
-    return {
-        "size": size,
-        "seeds_per_family": seeds,
-        "milp_oracles": milp_oracles,
-        "total_addresses": len(rows),
-        "failures": failures,
-        "failing_addresses": [
-            {"family": r["family"], "seed": r["seed"], "repro": r["repro"]}
-            for r in rows if not r["ok"]
-        ],
-        "wall_seconds": round(time.perf_counter() - started, 3),
-        "results": rows,
-    }
+from repro.exp.__main__ import main as exp_main  # noqa: E402
+from repro.scenarios import SCENARIO_FAMILIES  # noqa: E402
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -126,6 +38,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--size", default="full", choices=("smoke", "full"))
     parser.add_argument("--milp-oracles", action="store_true",
                         help="also run the MILP differential oracles")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (1 = inline)")
+    parser.add_argument("--force", action="store_true",
+                        help="re-execute cells even if their records exist")
     parser.add_argument(
         "--output",
         default="benchmarks/results/scenario_sweep.json",
@@ -133,16 +49,19 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    report = sweep(args.families, args.seeds, args.size, args.milp_oracles)
-    out = Path(args.output)
-    out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(json.dumps(report, indent=2) + "\n")
-    print(
-        f"\n{report['total_addresses']} addresses, "
-        f"{report['failures']} failing, "
-        f"{report['wall_seconds']}s -> {out}"
-    )
-    return 1 if report["failures"] else 0
+    forwarded = [
+        "run", "scenario-sweep",
+        "--seeds", str(args.seeds),
+        "--size", args.size,
+        "--workers", str(args.workers),
+        "--families", *args.families,
+        "--output", args.output,
+    ]
+    if args.milp_oracles:
+        forwarded.append("--milp-oracles")
+    if args.force:
+        forwarded.append("--force")
+    return exp_main(forwarded)
 
 
 if __name__ == "__main__":

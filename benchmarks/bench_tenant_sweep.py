@@ -1,288 +1,31 @@
 """Nightly tenant sweep: fairness, SLO attainment, admission across seeds.
 
-Tier-1 runs a three-seed slice of the ``tenant`` family (see
-``tests/test_tenancy.py``); this script is the many-seed soak the
-scheduled CI job runs, plus the PR's headline experiment:
+Thin wrapper over the ``tenant-sweep`` experiment in :mod:`repro.exp` —
+the seeded grid, the deficit-vs-priority selector contrast cells (see
+:func:`repro.exp.cells.selector_contrast_cell`), process-parallel
+execution (``--workers``), content-hash resume, and the fairness/SLO
+headline aggregation all live there; this script only preserves the
+historical CLI. Equivalent to::
 
-* every seed in ``--seeds`` of the ``tenant`` family at ``--size``, each
-  address verified end-to-end (invariants incl. per-tenant-KV-sums-to-
-  pool-totals and no-cross-tenant-starvation, per-seed determinism, the
-  flow differential oracle);
-* a controlled **deficit-vs-priority selector** contrast — a sustained
-  high-priority flood plus a trickle of low-priority work on a
-  KV-constrained cluster. The deficit selector serves both tenants; the
-  priority-only control starves the low tenant (the starvation watchdog
-  fires), proving the fairness machinery does real work — reported as
-  starvation counts and end-of-run Jain indices for both selectors;
-* headline tenancy numbers aggregated across the sweep — mean/min Jain
-  fairness index, SLO attainment rate (tenant-SLO pairs met / total),
-  starvation events, shed split by priority class — written both into
-  the report and (``--headline-out``) as a small standalone JSON for
-  perf tracking;
-* a JSON report with per-address status; every failing address carries
-  its violations and the exact one-line repro command. Crashes inside
-  one address are converted to violations, so the sweep always finishes
-  and always writes its report.
+    PYTHONPATH=src python -m repro.exp run tenant-sweep \
+        [--workers 8] [--seeds 25] [--size full] \
+        [--output benchmarks/results/tenant_sweep.json] \
+        [--headline-out BENCH_tenant.json]
 
 Exit status is 1 when any address fails (0 = clean sweep), so CI fails
-the job and uploads the failing-seed artifact.
-
-Run: ``PYTHONPATH=src python benchmarks/bench_tenant_sweep.py
-[--seeds 25] [--size full]
-[--output benchmarks/results/tenant_sweep.json]
-[--headline-out BENCH_tenant.json]``
+the job and uploads the failing-seed artifact. Re-invoking after a kill
+resumes from the per-cell records under ``benchmarks/results/exp``.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
-import time
-import traceback
 from pathlib import Path
 
-from repro.cluster import A100_40G, Cluster, L4, T4
-from repro.core.placement_types import ModelPlacement
-from repro.core.units import GBIT
-from repro.flow.graph import FlowGraph
-from repro.models.specs import ModelSpec
-from repro.scenarios import TENANT_FAMILY
-from repro.scheduling import HelixScheduler
-from repro.sim import Request, Simulation
-from repro.tenancy import (
-    FairnessConfig,
-    TenancyConfig,
-    TenantRegistry,
-    TenantSpec,
-)
-from repro.testkit import verify_scenario
-from repro.testkit.invariants import Violation
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-
-def _mean(samples: list[float]) -> float | None:
-    return round(sum(samples) / len(samples), 4) if samples else None
-
-
-# ----------------------------------------------------------------------
-# Deficit-vs-priority selector contrast (the PR's headline experiment)
-# ----------------------------------------------------------------------
-def _contended_run(selector: str) -> dict:
-    """200 high-priority arrivals at 50/s vs 8 low-priority stragglers.
-
-    The scheduler's expected-output KV charge is inflated so only a few
-    requests fit concurrently: the pending queue stays deeply backlogged
-    and the selector alone decides whether the low tenant ever runs.
-    """
-    model = ModelSpec(
-        name="tenant-tiny-8L",
-        num_layers=8,
-        hidden_size=1024,
-        num_heads=8,
-        num_kv_heads=8,
-        intermediate_size=2816,
-        nominal_params=8 * (4 * 1024**2 + 3 * 1024 * 2816),
-    )
-    cluster = Cluster(name="bench-tenant-contended")
-    cluster.add_node("a100-0", A100_40G, region="r0")
-    cluster.add_node("l4-0", L4, region="r0")
-    cluster.add_node("t4-0", T4, region="r0")
-    cluster.add_node("t4-1", T4, region="r0")
-    cluster.connect_full_mesh(
-        ["a100-0", "l4-0", "t4-0", "t4-1"], 10 * GBIT, 0.001,
-        include_coordinator=True,
-    )
-    cluster.validate()
-    placement = ModelPlacement.from_intervals(
-        8, {"a100-0": (0, 4), "t4-1": (0, 4), "l4-0": (4, 8), "t4-0": (4, 8)}
-    )
-    requests = [
-        Request(f"vip:{i:03d}", 64, 48, arrival_time=i * 0.02, tenant_id="vip")
-        for i in range(200)
-    ] + [
-        Request(f"lowly:{i}", 64, 48, arrival_time=i * 0.02, tenant_id="lowly")
-        for i in range(8)
-    ]
-    requests.sort(key=lambda r: (r.arrival_time, r.request_id))
-    registry = TenantRegistry([
-        TenantSpec("vip", priority=2, rate_share=1.0),
-        TenantSpec("lowly", priority=0, rate_share=1.0),
-    ])
-    flow = FlowGraph(cluster, model, placement).solve()
-    scheduler = HelixScheduler(
-        cluster, model, placement, flow=flow, expected_output_len=400000.0
-    )
-    sim = Simulation(
-        cluster, model, placement, scheduler, requests,
-        max_time=120.0, seed=0,
-        tenancy=TenancyConfig(
-            registry,
-            fairness=FairnessConfig(
-                mode="W", window=1.0, backlog_windows=3, selector=selector
-            ),
-        ),
-    )
-    metrics = sim.run()
-    manager = sim.tenancy
-    return {
-        "selector": selector,
-        "starvation_events": len(manager.starvation_events),
-        "starved_tenants": sorted(
-            {e.tenant_id for e in manager.starvation_events}
-        ),
-        "fairness_index": round(
-            manager.fairness_index(sim.now), 4
-        ),
-        "tokens_by_tenant": dict(manager.tokens_by_tenant),
-        "requests_finished": metrics.requests_finished,
-    }
-
-
-def deficit_vs_priority() -> dict:
-    deficit = _contended_run("deficit")
-    priority = _contended_run("priority")
-    return {
-        "deficit": deficit,
-        "priority": priority,
-        "starvation_events_deficit": deficit["starvation_events"],
-        "starvation_events_priority": priority["starvation_events"],
-        # The control MUST starve and the fair selector MUST not; a sweep
-        # where this flips means the invariant lost its teeth.
-        "control_demonstrates_starvation": (
-            priority["starvation_events"] > 0
-            and deficit["starvation_events"] == 0
-        ),
-    }
-
-
-# ----------------------------------------------------------------------
-# The seeded sweep
-# ----------------------------------------------------------------------
-def sweep(seeds: int, size: str) -> dict:
-    """Run the tenant sweep; returns the JSON-serializable report."""
-    rows = []
-    failures = 0
-    fairness_samples: list[float] = []
-    slo_pairs = slo_met = 0
-    starvation_events = 0
-    shed_by_priority: dict[int, int] = {}
-    shed = lost = submitted = finished = 0
-    started = time.perf_counter()
-    for seed in range(seeds):
-        t0 = time.perf_counter()
-        repro = (
-            "PYTHONPATH=src python -m repro.testkit "
-            f"{TENANT_FAMILY} {seed} --size {size}"
-        )
-        tenancy = {}
-        # A crash in one address must not abort the sweep: convert it to
-        # a violation so the report (and its repro command) still lands
-        # in the artifact.
-        try:
-            report = verify_scenario(
-                TENANT_FAMILY, seed, size,
-                determinism=True, flow_differential=True,
-            )
-            violations = list(report.violations)
-            repro = report.scenario.repro_command()
-            metrics = report.metrics
-            if metrics is not None:
-                shed += metrics.requests_shed
-                lost += metrics.requests_lost
-                submitted += metrics.requests_submitted
-                finished += metrics.requests_finished
-            if report.tenancy is not None:
-                fairness_samples.append(report.tenancy["fairness_index"])
-                starvation_events += report.tenancy["starvation_events"]
-                for priority, count in report.tenancy[
-                    "shed_by_priority"
-                ].items():
-                    shed_by_priority[priority] = (
-                        shed_by_priority.get(priority, 0) + count
-                    )
-                per_tenant = report.tenancy["per_tenant"]
-                slo_pairs += len(per_tenant)
-                slo_met += sum(1 for tm in per_tenant.values() if tm.slo_met)
-                tenancy = {
-                    "tenants": len(per_tenant),
-                    "fairness_index": round(
-                        report.tenancy["fairness_index"], 4
-                    ),
-                    "starvation_events": report.tenancy["starvation_events"],
-                    "kv_samples": report.tenancy["kv_samples"],
-                }
-        except Exception:
-            violations = [Violation(
-                "sweep_crash",
-                f"unhandled exception:\n{traceback.format_exc()}",
-            )]
-        row = {
-            "family": TENANT_FAMILY,
-            "seed": seed,
-            "size": size,
-            "ok": not violations,
-            "seconds": round(time.perf_counter() - t0, 3),
-            "repro": repro,
-            **tenancy,
-        }
-        if violations:
-            failures += 1
-            row["violations"] = [
-                {"invariant": v.invariant, "detail": v.detail}
-                for v in violations
-            ]
-            print(
-                f"FAIL {TENANT_FAMILY}/{seed}: {len(violations)} violations"
-            )
-            for v in violations:
-                print(f"  {v}")
-            print(f"  reproduce: {row['repro']}")
-        else:
-            print(f"ok   {TENANT_FAMILY}/{seed} {row['seconds']}s")
-        rows.append(row)
-
-    contrast = deficit_vs_priority()
-    headline = {
-        "addresses": len(rows),
-        "failures": failures,
-        "fairness_index_mean": _mean(fairness_samples),
-        "fairness_index_min": (
-            round(min(fairness_samples), 4) if fairness_samples else None
-        ),
-        "slo_pairs": slo_pairs,
-        "slo_met": slo_met,
-        "slo_attainment_rate": (
-            round(slo_met / slo_pairs, 4) if slo_pairs else None
-        ),
-        "starvation_events": starvation_events,
-        "shed_by_priority": {
-            str(p): c for p, c in sorted(shed_by_priority.items())
-        },
-        "starvation_events_deficit": contrast["starvation_events_deficit"],
-        "starvation_events_priority": contrast["starvation_events_priority"],
-        "control_demonstrates_starvation": contrast[
-            "control_demonstrates_starvation"
-        ],
-        "requests_submitted": submitted,
-        "requests_finished": finished,
-        "requests_shed": shed,
-        "requests_lost": lost,
-        "shed_rate": round(shed / submitted, 6) if submitted else None,
-    }
-    return {
-        "family": TENANT_FAMILY,
-        "size": size,
-        "seeds": seeds,
-        "failures": failures,
-        "failing_addresses": [
-            {"family": r["family"], "seed": r["seed"], "repro": r["repro"]}
-            for r in rows if not r["ok"]
-        ],
-        "headline": headline,
-        "deficit_vs_priority": contrast,
-        "wall_seconds": round(time.perf_counter() - started, 3),
-        "results": rows,
-    }
+from repro.exp.__main__ import main as exp_main  # noqa: E402
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -290,6 +33,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seeds", type=int, default=25,
                         help="tenant seeds to sweep (0..N-1)")
     parser.add_argument("--size", default="full", choices=("smoke", "full"))
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (1 = inline)")
+    parser.add_argument("--force", action="store_true",
+                        help="re-execute cells even if their records exist")
     parser.add_argument(
         "--output",
         default="benchmarks/results/tenant_sweep.json",
@@ -301,34 +48,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    report = sweep(args.seeds, args.size)
-    out = Path(args.output)
-    out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(json.dumps(report, indent=2) + "\n")
+    forwarded = [
+        "run", "tenant-sweep",
+        "--seeds", str(args.seeds),
+        "--size", args.size,
+        "--workers", str(args.workers),
+        "--output", args.output,
+    ]
     if args.headline_out:
-        headline_doc = {
-            "bench": "tenant_sweep",
-            "size": report["size"],
-            "seeds": report["seeds"],
-            "derived": report["headline"],
-        }
-        Path(args.headline_out).write_text(
-            json.dumps(headline_doc, indent=2) + "\n"
-        )
-    print(
-        f"\n{len(report['results'])} addresses, "
-        f"{report['failures']} failing, "
-        f"{report['wall_seconds']}s -> {out}"
-    )
-    head = report["headline"]
-    print(
-        f"headline: fairness mean={head['fairness_index_mean']} "
-        f"min={head['fairness_index_min']} "
-        f"slo={head['slo_met']}/{head['slo_pairs']} "
-        f"starvation={head['starvation_events']} "
-        f"control starves: {head['control_demonstrates_starvation']}"
-    )
-    return 1 if report["failures"] else 0
+        forwarded += ["--headline-out", args.headline_out]
+    if args.force:
+        forwarded.append("--force")
+    return exp_main(forwarded)
 
 
 if __name__ == "__main__":

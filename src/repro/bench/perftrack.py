@@ -138,11 +138,17 @@ class PerfTracker:
         return value
 
     def to_dict(self) -> dict:
+        from repro.core.machine import machine_stamp
+
+        # Perf numbers are only comparable on the machine that produced
+        # them; the stamp (CPU model, core count, worker count) makes
+        # cross-run diffs honest.
         return _json_safe({
             "schema": SCHEMA_VERSION,
             "label": self.label,
             "python": sys.version.split()[0],
             "platform": platform.platform(),
+            "machine": machine_stamp(),
             "timings": [asdict(t) for t in self.timings],
             "derived": dict(self.derived),
         })

@@ -14,6 +14,7 @@ from repro.core.errors import (
     SimulationError,
     SolverError,
 )
+from repro.core.machine import cpu_count, cpu_model, machine_stamp
 from repro.core.units import (
     GB,
     MB,
@@ -44,4 +45,7 @@ __all__ = [
     "TFLOPS",
     "bits_to_bytes",
     "bytes_to_gb",
+    "cpu_count",
+    "cpu_model",
+    "machine_stamp",
 ]

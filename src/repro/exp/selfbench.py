@@ -1,0 +1,99 @@
+"""Self-benchmark: serial vs process-parallel orchestration, same grid.
+
+Runs the classic 4-family scenario grid twice into throwaway stores —
+once with ``--workers 1`` (inline) and once with the requested worker
+count — asserts the per-cell determinism fingerprints are identical, and
+writes ``BENCH_exp.json`` with the speedup and the machine stamp. On a
+single-core container the speedup is honestly ~1x (and the stamp's
+``cpu_count`` says why); the multi-core CI runner is where the parallel
+path earns its keep.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.machine import machine_stamp
+from repro.exp.experiments import scenario_sweep
+from repro.exp.runner import run_experiment
+from repro.exp.store import RunStore, write_json
+
+DEFAULT_OUTPUT = Path("BENCH_exp.json")
+
+
+def _fingerprints(store: RunStore, manifest: dict) -> dict[str, str]:
+    return {
+        record["hash"]: record.get("fingerprint", "")
+        for record in store.read_records(manifest)
+    }
+
+
+def run_orchestration_bench(
+    workers: int = 8,
+    seeds: int = 25,
+    size: str = "full",
+    path: str | Path | None = DEFAULT_OUTPUT,
+) -> dict:
+    """Benchmark the orchestrator itself; returns the BENCH document."""
+    spec = scenario_sweep(seeds=seeds, size=size)
+    with tempfile.TemporaryDirectory(prefix="exp-bench-") as tmp:
+        serial_root = Path(tmp) / "serial"
+        parallel_root = Path(tmp) / "parallel"
+
+        t0 = time.perf_counter()
+        serial = run_experiment(
+            spec, workers=1, results_root=serial_root, quiet=True
+        )
+        serial_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        parallel = run_experiment(
+            spec, workers=workers, results_root=parallel_root, quiet=True
+        )
+        parallel_seconds = time.perf_counter() - t0
+
+        manifest = spec.manifest()
+        serial_fp = _fingerprints(RunStore(serial_root, spec.name), manifest)
+        parallel_fp = _fingerprints(
+            RunStore(parallel_root, spec.name), manifest
+        )
+        identical = serial_fp == parallel_fp and len(serial_fp) == len(
+            manifest["cells"]
+        )
+        mismatched = sorted(
+            h for h in set(serial_fp) | set(parallel_fp)
+            if serial_fp.get(h) != parallel_fp.get(h)
+        )
+        aggregates_identical = json.dumps(
+            {**serial.aggregate, "machine": None}, sort_keys=True
+        ) == json.dumps(
+            {**parallel.aggregate, "machine": None}, sort_keys=True
+        )
+
+    document = {
+        "bench": "exp_orchestration",
+        "size": size,
+        "seeds_per_family": seeds,
+        "derived": {
+            "addresses": len(manifest["cells"]),
+            "workers": workers,
+            "serial_seconds": round(serial_seconds, 3),
+            "parallel_seconds": round(parallel_seconds, 3),
+            "speedup": (
+                round(serial_seconds / parallel_seconds, 3)
+                if parallel_seconds else None
+            ),
+            "fingerprints_identical": identical,
+            "mismatched_cells": mismatched,
+            "aggregates_identical": aggregates_identical,
+            "serial_failures": serial.failures,
+            "parallel_failures": parallel.failures,
+        },
+        "machine": machine_stamp(workers=workers),
+    }
+    if path:
+        write_json(Path(path), document)
+    return document

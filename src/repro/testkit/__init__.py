@@ -18,8 +18,11 @@ from repro.testkit.differential import (
 from repro.testkit.harness import (
     ScenarioReport,
     assert_scenario_ok,
+    placement_intervals,
+    plan_scenario,
     run_scenario,
     verify_scenario,
+    verify_scenario_record,
 )
 from repro.testkit.invariants import (
     SchedulerAuditor,
@@ -51,7 +54,10 @@ __all__ = [
     "check_reevaluate_vs_rebuild",
     "check_simulation",
     "check_tenancy",
+    "placement_intervals",
+    "plan_scenario",
     "random_placements",
     "run_scenario",
     "verify_scenario",
+    "verify_scenario_record",
 ]

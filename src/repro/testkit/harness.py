@@ -15,10 +15,15 @@ failure text always carries the one-line repro command.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+import math
+import time
+import traceback
+from dataclasses import dataclass, field, replace
 
 from repro.bench.runner import make_planner, make_scheduler
 from repro.core.errors import ReproError
+from repro.core.placement_types import ModelPlacement
+from repro.flow.graph import FlowGraph
 from repro.online.autoscale import Autoscaler
 from repro.online.controller import OnlineController
 from repro.placement.base import PlannerResult
@@ -130,6 +135,57 @@ def _plan(scenario: Scenario) -> tuple[str, object, PlannerResult]:
     )
 
 
+def plan_scenario(scenario: Scenario) -> tuple[str, PlannerResult]:
+    """Plan a scenario and return ``(method, result)`` without running it.
+
+    The planner search is deterministic per address, so callers evaluating
+    the *same* scenario under several scheduling policies (a policy-grid
+    experiment) can plan once, serialize the placement intervals, and
+    replay them through :func:`run_scenario`'s ``plan`` argument instead
+    of re-running the search per policy cell.
+    """
+    method, _, result = _plan(scenario)
+    return method, result
+
+
+def placement_intervals(result: PlannerResult) -> dict[str, tuple[int, int]]:
+    """The plain ``{node_id: (start, end)}`` form of a planned placement.
+
+    This is the picklable currency of the experiment harness's per-process
+    plan cache: intervals survive process boundaries and fresh scenario
+    generations, unlike the planner/flow objects bound to one cluster
+    instance.
+    """
+    return {
+        node_id: (stage.start, stage.end)
+        for node_id, stage in result.placement.assignments.items()
+    }
+
+
+def _plan_from_hint(
+    scenario: Scenario, plan: tuple[str, dict[str, tuple[int, int]]]
+) -> tuple[str, PlannerResult]:
+    """Rebuild a planner result from cached ``(method, intervals)``.
+
+    The max-flow solve is recomputed on the fresh cluster (cheap) so the
+    result is bound to *this* generation — only the expensive placement
+    search is skipped. Bit-identical to planning from scratch because the
+    planners are deterministic per address.
+    """
+    method, intervals = plan
+    cluster = scenario.cluster
+    if cluster.down_node_ids:
+        cluster = cluster.subcluster()
+    placement = ModelPlacement.from_intervals(
+        scenario.model.num_layers,
+        {node_id: tuple(span) for node_id, span in intervals.items()},
+    )
+    flow = FlowGraph(cluster, scenario.model, placement).solve()
+    return method, PlannerResult(
+        planner_name=method, placement=placement, flow=flow
+    )
+
+
 def _fingerprint(sim: Simulation, metrics: ServingMetrics) -> str:
     """Digest of a run's observable outcome (exact, not rounded)."""
     payload = repr((
@@ -146,7 +202,11 @@ def _fingerprint(sim: Simulation, metrics: ServingMetrics) -> str:
     return hashlib.sha256(payload).hexdigest()
 
 
-def run_scenario(scenario: Scenario, engine: str = "hop") -> ScenarioReport:
+def run_scenario(
+    scenario: Scenario,
+    engine: str = "hop",
+    plan: tuple[str, dict[str, tuple[int, int]]] | None = None,
+) -> ScenarioReport:
     """Play one scenario end-to-end, collecting invariant violations.
 
     The scenario object is consumed: serving and churn mutate its cluster
@@ -156,10 +216,18 @@ def run_scenario(scenario: Scenario, engine: str = "hop") -> ScenarioReport:
         scenario: The generated scenario to serve.
         engine: Simulation engine (``"hop"`` or ``"batch"``); every
             invariant must hold on both.
+        plan: Cached ``(method, intervals)`` from an earlier
+            :func:`plan_scenario` of the same address, to skip the
+            placement search (policy-grid cells evaluate one plan under
+            several schedulers).
     """
     report = ScenarioReport(scenario=scenario)
+    planner = None
     try:
-        method, planner, planner_result = _plan(scenario)
+        if plan is not None:
+            method, planner_result = _plan_from_hint(scenario, plan)
+        else:
+            method, planner, planner_result = _plan(scenario)
     except ReproError as exc:
         report.violations.append(Violation("planner_serves", str(exc)))
         return report
@@ -317,6 +385,9 @@ def verify_scenario(
     size: str = "smoke",
     determinism: bool = True,
     flow_differential: bool = True,
+    engine: str = "hop",
+    scheduler: str | None = None,
+    plan: tuple[str, dict[str, tuple[int, int]]] | None = None,
 ) -> ScenarioReport:
     """Generate, run, and cross-check the scenario at one address.
 
@@ -328,15 +399,26 @@ def verify_scenario(
             and require a bit-identical outcome fingerprint.
         flow_differential: Cross-validate ``FlowGraph.reevaluate`` against
             fresh rebuilds on seeded random placements of this scenario.
+        engine: Simulation engine to run on.
+        scheduler: Scheduling-policy override (``None`` = the scenario's
+            own draw) — policy-grid experiments sweep this axis.
+        plan: Cached ``(method, intervals)`` plan hint, forwarded to
+            :func:`run_scenario` on every (re)play.
     """
-    report = run_scenario(generate_scenario(family, seed, size))
+    def fresh() -> Scenario:
+        scenario = generate_scenario(family, seed, size)
+        if scheduler is not None:
+            scenario = replace(scenario, scheduler_method=scheduler)
+        return scenario
+
+    report = run_scenario(fresh(), engine=engine, plan=plan)
     if flow_differential:
         # Fresh generation: the first run mutated the cluster.
         report.violations.extend(
             check_reevaluate_vs_rebuild(generate_scenario(family, seed, size))
         )
     if determinism:
-        replay = run_scenario(generate_scenario(family, seed, size))
+        replay = run_scenario(fresh(), engine=engine, plan=plan)
         if replay.fingerprint != report.fingerprint:
             report.violations.append(Violation(
                 "per_seed_determinism",
@@ -345,6 +427,122 @@ def verify_scenario(
                 f"{replay.fingerprint[:12]})",
             ))
     return report
+
+
+def _finite(value: float | None) -> float | None:
+    """NaN/inf -> ``None`` so records serialize as strict RFC-8259 JSON."""
+    if value is None:
+        return None
+    value = float(value)
+    return value if math.isfinite(value) else None
+
+
+def verify_scenario_record(
+    family: str,
+    seed: int,
+    size: str = "full",
+    milp_oracles: bool = False,
+    determinism: bool = True,
+    flow_differential: bool = True,
+    engine: str = "hop",
+    scheduler: str | None = None,
+    plan: tuple[str, dict[str, tuple[int, int]]] | None = None,
+) -> dict:
+    """One sweep cell as a pure, picklable function returning plain JSON.
+
+    This is the experiment harness's unit of work: everything the sweep
+    aggregators consume (status, fingerprint, counters, per-family
+    telemetry) lands in one JSON-serializable dict, and any crash inside
+    the address is converted to a ``sweep_crash`` violation so a worker
+    never takes the whole sweep down with it. Importable and callable at
+    module top level — :mod:`multiprocessing` workers can pickle it.
+    """
+    from repro.testkit.differential import check_milp_oracles
+
+    started = time.perf_counter()
+    repro = (
+        "PYTHONPATH=src python -m repro.testkit "
+        f"{family} {seed} --size {size}"
+    )
+    record: dict = {
+        "family": family,
+        "seed": seed,
+        "size": size,
+        "planner": "?",
+        "planned_throughput": 0.0,
+        "fingerprint": "",
+        "repro": repro,
+    }
+    if scheduler is not None:
+        record["scheduler"] = scheduler
+    try:
+        report = verify_scenario(
+            family, seed, size,
+            determinism=determinism, flow_differential=flow_differential,
+            engine=engine, scheduler=scheduler, plan=plan,
+        )
+        violations = list(report.violations)
+        if milp_oracles:
+            violations += check_milp_oracles(family, seed, size)
+        record["planner"] = report.planner_used
+        record["planned_throughput"] = report.planned_throughput
+        record["fingerprint"] = report.fingerprint
+        record["repro"] = report.scenario.repro_command()
+        metrics = report.metrics
+        if metrics is not None:
+            record["counters"] = {
+                "submitted": metrics.requests_submitted,
+                "finished": metrics.requests_finished,
+                "shed": metrics.requests_shed,
+                "lost": metrics.requests_lost,
+            }
+            record["decode_throughput"] = _finite(metrics.decode_throughput)
+        disruption = report.disruption
+        if disruption is not None:
+            record["disruption"] = {
+                "mttd_mean_s": _finite(disruption.mttd_mean),
+                "mttd_max_s": _finite(disruption.mttd_max),
+                "mttr_s": _finite(disruption.mttr),
+                "time_to_recovery_s": _finite(disruption.time_to_recovery),
+                "recovery_ratio": _finite(disruption.recovery_ratio),
+                "false_positives": disruption.false_positives,
+            }
+        if report.elasticity is not None:
+            elasticity = dict(report.elasticity)
+            elasticity["autoscaler_actions"] = [
+                list(action) for action in elasticity["autoscaler_actions"]
+            ]
+            record["elasticity"] = elasticity
+        if report.tenancy is not None:
+            per_tenant = report.tenancy["per_tenant"]
+            record["tenancy"] = {
+                "tenants": len(per_tenant),
+                "fairness_index": _finite(report.tenancy["fairness_index"]),
+                "starvation_events": report.tenancy["starvation_events"],
+                "shed_by_priority": {
+                    str(priority): count
+                    for priority, count
+                    in report.tenancy["shed_by_priority"].items()
+                },
+                "kv_samples": report.tenancy["kv_samples"],
+                "slo_pairs": len(per_tenant),
+                "slo_met": sum(
+                    1 for tm in per_tenant.values() if tm.slo_met
+                ),
+            }
+    except Exception:  # noqa: BLE001 — a cell must never kill the sweep
+        violations = [Violation(
+            "sweep_crash",
+            f"unhandled exception:\n{traceback.format_exc()}",
+        )]
+    record["ok"] = not violations
+    if violations:
+        record["violations"] = [
+            {"invariant": v.invariant, "detail": v.detail}
+            for v in violations
+        ]
+    record["seconds"] = round(time.perf_counter() - started, 3)
+    return record
 
 
 def assert_scenario_ok(report: ScenarioReport) -> None:
